@@ -1,0 +1,51 @@
+"""Ablation C — the ranking criterion (maximum / percentile / threshold).
+
+§3 leaves the severity criterion open: "the maximum of the indices of
+dispersion, the percentiles of their distribution, or some predefined
+thresholds".  This ablation applies all three to the scaled region
+indices of the reconstructed dataset and measures how much the selected
+tuning candidates overlap (Jaccard agreement).
+"""
+
+from conftest import emit
+from repro.core import agreement, compute_region_view, rank
+from repro.viz import format_table
+
+
+def test_ablation_ranking_criterion(benchmark, paper_measurements):
+    view = compute_region_view(paper_measurements)
+    values = {region: float(value)
+              for region, value in zip(view.regions, view.scaled_index)}
+
+    def run_all():
+        return {
+            "maximum(2)": rank(values, "maximum", count=2),
+            "percentile(75)": rank(values, "percentile", percentile=75.0),
+            "threshold(0.003)": rank(values, "threshold", threshold=0.003),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=3, iterations=1)
+
+    # Every criterion keeps loop 1 — the paper's tuning candidate — in
+    # its selection.
+    for name, result in results.items():
+        assert "loop 1" in result.names, name
+
+    rows = []
+    names = list(results)
+    for a in names:
+        for b in names:
+            if a < b:
+                rows.append([f"{a} vs {b}",
+                             ", ".join(results[a].names),
+                             ", ".join(results[b].names),
+                             f"{agreement(results[a], results[b]):.2f}"])
+
+    # The criteria are not interchangeable in general...
+    jaccards = [float(row[-1]) for row in rows]
+    # ...but they never fully disagree (loop 1 is always shared).
+    assert min(jaccards) > 0.0
+
+    emit("Ablation C — ranking criterion agreement",
+         format_table(["pair", "first selects", "second selects",
+                       "Jaccard"], rows))

@@ -1,0 +1,70 @@
+"""Baseline comparison — Paradyn-style threshold search vs the methodology.
+
+The paper's motivation (§1): threshold-driven bottleneck searches prune
+by *time share*, so a short but severely imbalanced activity never gets
+examined.  This benchmark runs both analyses on the reconstructed
+dataset and reports:
+
+* what each approach flags;
+* the blind spot: synchronization — the most imbalanced activity by the
+  paper's index — is never refined by the threshold search because it is
+  0.1% of the wall clock;
+* the costs (hypotheses tested vs one deterministic pass).
+"""
+
+from conftest import emit
+from repro.baselines import search
+from repro.core import analyze
+from repro.viz import format_table
+
+
+def test_baseline_threshold_search(benchmark, paper_measurements):
+    result = benchmark(search, paper_measurements)
+
+    refined_activities = {hypothesis.focus[0]
+                          for hypothesis in result.hypotheses
+                          if hypothesis.level != "program"}
+    # The blind spot.
+    assert "synchronization" not in refined_activities
+
+    analysis = analyze(paper_measurements)
+    assert analysis.activity_view.most_imbalanced() == "synchronization"
+
+    flagged = result.flagged_regions()
+    # The search does find the gross time sinks...
+    assert ("computation", "loop 1") in flagged
+    assert ("collective", "loop 1") in flagged
+
+    rows = [
+        ["hypotheses tested", str(result.tested)],
+        ["processor-level bottlenecks", str(len(result.bottlenecks))],
+        ["activities refined", ", ".join(sorted(refined_activities))],
+        ["methodology: most imbalanced activity",
+         analysis.activity_view.most_imbalanced()],
+        ["methodology: tuning candidate", analysis.tuning_candidates[0]],
+    ]
+    emit("Baseline threshold search vs methodology",
+         format_table(["quantity", "value"], rows))
+
+
+def test_guided_drilldown_vs_threshold_search(benchmark,
+                                              paper_measurements):
+    """The methodology as a search strategy: three lookups versus the
+    threshold search's full hypothesis sweep."""
+    from repro.baselines import drill_down
+
+    guided = benchmark(drill_down, paper_measurements)
+    baseline = search(paper_measurements)
+
+    assert guided.cost == 3
+    assert baseline.tested > 30 * guided.cost
+    # The descent lands where the scaled indices point.
+    assert guided.activity == "computation"
+    assert guided.region == "loop 1"
+
+    emit("Guided drill-down vs threshold search",
+         format_table(["strategy", "cost", "focus"],
+                      [["threshold search", f"{baseline.tested} hypotheses",
+                        f"{len(baseline.bottlenecks)} bottlenecks"],
+                       ["guided drill-down", "3 lookups",
+                        guided.describe()]]))

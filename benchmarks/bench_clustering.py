@@ -1,0 +1,43 @@
+"""§4 clustering — k-means partitions the loops into {1, 2} vs the rest.
+
+Reproduction criteria: on both the reconstructed dataset and the
+simulated CFD run, clustering the loops by their activity wall clock
+times yields the paper's partition — the heavy loops {1, 2} in one
+group, the remaining five in the other.
+"""
+
+from conftest import emit
+from repro.core import cluster_regions, kmeans, silhouette_score
+
+PAPER_PARTITION = {
+    frozenset({"loop 1", "loop 2"}),
+    frozenset({"loop 3", "loop 4", "loop 5", "loop 6", "loop 7"}),
+}
+
+
+def _describe(groups):
+    return "; ".join("{" + ", ".join(group) + "}" for group in groups)
+
+
+def test_clustering_reconstruction(benchmark, paper_measurements):
+    groups = benchmark(cluster_regions, paper_measurements, 2, seed=0)
+    assert set(map(frozenset, groups)) == PAPER_PARTITION
+    emit("Clustering (reconstructed)", _describe(groups))
+
+
+def test_clustering_simulated_cfd(benchmark, cfd_run):
+    _, _, measurements = cfd_run
+    groups = benchmark(cluster_regions, measurements, 2, seed=0)
+    assert set(map(frozenset, groups)) == PAPER_PARTITION
+    emit("Clustering (simulated CFD run)", _describe(groups))
+
+
+def test_clustering_quality(benchmark, paper_measurements):
+    """The two-group structure is genuine: k = 2 has a positive
+    silhouette on the z-scored features."""
+    import numpy as np
+    features = paper_measurements.region_activity_times
+    spread = features.std(axis=0)
+    z = (features - features.mean(axis=0)) / np.where(spread > 0, spread, 1)
+    result = benchmark(kmeans, z, 2, seed=0)
+    assert silhouette_score(z, result.labels) > 0.2

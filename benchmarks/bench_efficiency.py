@@ -1,0 +1,63 @@
+"""Efficiency factorization and what-if modeling (extension benches).
+
+* Strong-scaling study of the CFD workload: parallel efficiency
+  factored into load balance and communication efficiency as P grows —
+  the quantitative counterpart of the paper's qualitative views.
+* What-if agreement: the absolute balancing payoff ranks loop 1 first
+  on the reconstructed dataset, the same answer the scaled index gives.
+"""
+
+from conftest import emit
+from repro.apps import CFDConfig, run_cfd
+from repro.core import (balance_everything, balance_predictions,
+                        efficiency, render_efficiency_table,
+                        render_predictions, scaling_analysis)
+
+
+def test_cfd_strong_scaling_efficiency(benchmark):
+    # Fixed global problem, growing machine; injectors off so the scaling
+    # signal is not confounded by the planted imbalance.
+    def study():
+        runs = []
+        for n_ranks in (4, 8, 16, 32):
+            config = CFDConfig(grid=(128, 128), steps=2,
+                               loop_imbalance={}, jitter=0.0)
+            result, _, measurements = run_cfd(config, n_ranks=n_ranks)
+            runs.append((measurements, result.elapsed))
+        return scaling_analysis(runs)
+
+    points = benchmark.pedantic(study, rounds=2, iterations=1)
+
+    pe = [point.efficiency.parallel_efficiency for point in points]
+    lb = [point.efficiency.load_balance for point in points]
+    comm = [point.efficiency.communication_efficiency for point in points]
+    # Strong scaling: parallel efficiency declines with P, and the
+    # decline is communication-driven (load balance stays high because
+    # the injectors are off).
+    assert pe[0] > pe[-1]
+    assert comm[0] > comm[-1]
+    assert min(lb) > 0.85
+    # Speedup still grows (not past the scaling knee at these sizes).
+    speedups = [point.speedup for point in points]
+    assert speedups[-1] > speedups[0]
+
+    emit("CFD strong scaling (grid fixed, P = 4..32)",
+         render_efficiency_table(points))
+
+
+def test_whatif_agrees_with_scaled_index(benchmark, paper_measurements,
+                                         paper_analysis):
+    predictions = benchmark(balance_predictions, paper_measurements)
+
+    # Absolute payoff and the scaled index agree on the top candidate...
+    assert predictions[0].region == "loop 1"
+    assert paper_analysis.region_view.most_imbalanced(scaled=True) == \
+        "loop 1"
+    # ...and the combined repair bounds the sum of the individual ones.
+    combined = balance_everything(paper_measurements)
+    assert combined.speedup >= max(prediction.speedup
+                                   for prediction in predictions)
+
+    emit("What-if balancing payoffs (reconstructed dataset)",
+         render_predictions(predictions)
+         + f"\ncombined repair: {combined.speedup:.3f}x")

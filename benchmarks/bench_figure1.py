@@ -1,0 +1,45 @@
+"""Figure 1 — patterns of the times spent by the processors in computation.
+
+Reproduction criteria: the two quantitative reads the paper takes from
+the figure hold — on loop 4 the computation times of 5 of 16 processors
+fall in the upper 15% interval, on loop 6 those of 11 of 16 fall in the
+lower 15% interval — and the diagram plots exactly the loops that
+compute (all seven).
+"""
+
+from conftest import emit
+from repro.calibrate import paper_data
+from repro.core import Band, pattern_grid
+from repro.viz import render_pattern_grid
+
+
+def test_figure1_reconstruction(benchmark, paper_measurements):
+    grid = benchmark(pattern_grid, paper_measurements, "computation")
+
+    assert grid.regions == paper_data.REGIONS     # every loop computes
+    assert grid.count("loop 4", Band.UPPER) == \
+        paper_data.FIGURE_1_UPPER_LOOP4
+    assert grid.count("loop 6", Band.LOWER) == \
+        paper_data.FIGURE_1_LOWER_LOOP6
+    assert all(len(row) == 16 for row in grid.rows)
+
+    emit("Figure 1 (reconstructed)", render_pattern_grid(grid))
+
+
+def test_figure1_simulated_cfd(benchmark, cfd_run):
+    _, _, measurements = cfd_run
+    grid = benchmark(pattern_grid, measurements, "computation")
+
+    assert grid.regions == paper_data.REGIONS
+    # The hot block in loop 4 (ranks 3..8) produces a contiguous band of
+    # high computation times; the hot boundary ranks in loop 6 push the
+    # bulk of the processors into the lower interval.
+    row4 = grid.row("loop 4")
+    high4 = [p for p, band in enumerate(row4)
+             if band in (Band.MAX, Band.UPPER)]
+    assert set(high4) <= {3, 4, 5, 6, 7, 8} and len(high4) >= 4
+    low6 = sum(1 for band in grid.row("loop 6")
+               if band in (Band.MIN, Band.LOWER))
+    assert low6 >= 10
+
+    emit("Figure 1 (simulated CFD run)", render_pattern_grid(grid))

@@ -1,0 +1,63 @@
+"""§4 processor view — the most frequently / longest imbalanced processors.
+
+Reproduction criteria (reconstructed dataset, exact): processor 1 tops
+exactly two loops (3 and 7) and is the most frequently imbalanced;
+processor 2 tops loop 1 only, with ``ID_P = 0.25754`` and a loop-1 wall
+clock of 15.93 s, and is the processor imbalanced for the longest time.
+On the simulated CFD run the *mechanism* is checked: the loop-4 winner
+is one of the injected hot ranks.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.calibrate import paper_data
+from repro.core import compute_processor_view
+from repro.viz import format_table
+
+
+def _winner_table(view, measurements):
+    rows = []
+    for i, region in enumerate(measurements.regions):
+        winner = view.most_imbalanced_processor(region)
+        rows.append([region, f"processor {winner + 1}",
+                     f"{view.dispersion[i, winner]:.5f}"])
+    return format_table(["region", "most imbalanced", "ID_P"], rows)
+
+
+def test_processor_view_reconstruction(benchmark, paper_measurements):
+    view = benchmark(compute_processor_view, paper_measurements)
+
+    summary = view.summary()
+    assert summary.most_frequent == paper_data.MOST_FREQUENT_PROCESSOR
+    assert summary.most_frequent_count == 2
+    for region in paper_data.MOST_FREQUENT_PROCESSOR_LOOPS:
+        assert view.most_imbalanced_processor(region) == \
+            paper_data.MOST_FREQUENT_PROCESSOR
+
+    assert summary.longest == paper_data.LONGEST_PROCESSOR
+    assert summary.longest_time == pytest.approx(
+        paper_data.LONGEST_PROCESSOR_TIME, abs=1e-6)
+    loop1 = paper_measurements.region_index(paper_data.LONGEST_PROCESSOR_LOOP)
+    assert view.dispersion[loop1, paper_data.LONGEST_PROCESSOR] == \
+        pytest.approx(paper_data.LONGEST_PROCESSOR_ID_P, abs=1e-6)
+
+    emit("Processor view (reconstructed)",
+         _winner_table(view, paper_measurements))
+
+
+def test_processor_view_simulated_cfd(benchmark, cfd_run):
+    _, _, measurements = cfd_run
+    view = benchmark(compute_processor_view, measurements)
+
+    # The loop-4 winner must be a hot rank (3..8) or one of their halo
+    # neighbours (2, 9) — a neighbour waiting on a hot rank develops an
+    # equally deviant p2p-heavy profile (a victim of the imbalance).
+    assert view.most_imbalanced_processor("loop 4") in set(range(2, 10))
+    assert view.most_imbalanced_processor("loop 6") in {12, 13, 14, 15}
+    # Loop 1's designated hot rank is rank 1 (as in the paper's
+    # "processor 2").
+    assert view.most_imbalanced_processor("loop 1") == 1
+
+    emit("Processor view (simulated CFD run)",
+         _winner_table(view, measurements))

@@ -1,0 +1,24 @@
+"""Cost of the calibrated reconstruction and its verification.
+
+The reconstruction solves a constrained optimization (SLSQP for loop 1)
+plus fifteen closed-form slices; this bench keeps its cost visible so a
+regression in the solver shows up, and re-asserts that every published
+constraint holds on the benchmarked artifact.
+"""
+
+from conftest import emit
+from repro.calibrate import reconstruct, verify
+
+
+def test_reconstruction_cost(benchmark):
+    measurements = benchmark.pedantic(
+        lambda: reconstruct(verify_constraints=False),
+        rounds=3, iterations=1)
+    report = verify(measurements)
+    assert report.passed, report.describe_failures()
+    emit("Reconstruction constraint check", report.describe())
+
+
+def test_verification_cost(benchmark, paper_measurements):
+    report = benchmark(verify, paper_measurements)
+    assert report.passed

@@ -1,0 +1,38 @@
+"""Trace-driven replay: what-if on the machine (extension bench).
+
+Replay the recorded CFD trace on the four machine presets.  Fidelity
+criterion: replaying on the recording machine reproduces the elapsed
+time within 2%; the what-if criterion: elapsed times order with the
+machines' speed, with per-rank compute preserved exactly.
+"""
+
+from conftest import emit
+from repro.simmpi import (COMMODITY_CLUSTER, FAST_FABRIC, SHARED_MEMORY,
+                          SP2, replay)
+from repro.viz import format_table
+
+MACHINES = (("shm", SHARED_MEMORY), ("fast", FAST_FABRIC), ("sp2", SP2),
+            ("commodity", COMMODITY_CLUSTER))
+
+
+def test_replay_across_machines(benchmark, cfd_run):
+    result, tracer, _ = cfd_run        # recorded on the SP2 model
+
+    def study():
+        return {name: replay(tracer.events, network=net)
+                for name, net in MACHINES}
+
+    replayed = benchmark.pedantic(study, rounds=1, iterations=1)
+
+    sp2_elapsed = replayed["sp2"].elapsed
+    assert abs(sp2_elapsed - result.elapsed) / result.elapsed < 0.02
+    ordered = [replayed[name].elapsed for name, _ in MACHINES]
+    assert all(later >= earlier - 1e-12
+               for earlier, later in zip(ordered, ordered[1:]))
+
+    emit("Trace-driven replay of the CFD run "
+         f"(recorded on sp2: {result.elapsed:.4f} s)",
+         format_table(["machine", "replayed elapsed (s)", "vs recorded"],
+                      [[name, f"{replayed[name].elapsed:.4f}",
+                        f"{replayed[name].elapsed / result.elapsed:.2f}x"]
+                       for name, _ in MACHINES]))

@@ -1,0 +1,56 @@
+"""Scaling — cost of the methodology and of the simulation substrate.
+
+The methodology is meant to be a cheap post-mortem pass over a profile;
+this benchmark quantifies that across processor counts (P) and region
+counts (N), and separately measures the simulator's event throughput.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.apps import LinearGradient, RegionSpec, SyntheticWorkload
+from repro.core import MeasurementSet, analyze
+from repro.viz import format_table
+
+
+def synthetic_measurements(n_regions: int, n_processors: int) -> MeasurementSet:
+    rng = np.random.default_rng((n_regions, n_processors))
+    tensor = rng.uniform(0.5, 1.5, (n_regions, 4, n_processors))
+    tensor[:, 1, :] *= rng.uniform(0.0, 1.0, (n_regions, 1)) > 0.3
+    return MeasurementSet(tensor)
+
+
+@pytest.mark.parametrize("n_processors", [16, 64, 256])
+def test_analysis_scaling_in_processors(benchmark, n_processors):
+    measurements = synthetic_measurements(16, n_processors)
+    analysis = benchmark(analyze, measurements)
+    assert analysis.region_view.index.shape == (16,)
+
+
+@pytest.mark.parametrize("n_regions", [8, 64, 256])
+def test_analysis_scaling_in_regions(benchmark, n_regions):
+    measurements = synthetic_measurements(n_regions, 32)
+    analysis = benchmark(analyze, measurements)
+    assert analysis.region_view.index.shape == (n_regions,)
+
+
+@pytest.mark.parametrize("n_ranks", [8, 32, 64])
+def test_simulator_throughput(benchmark, n_ranks):
+    """Messages simulated per wall-clock second, on an allreduce-heavy
+    synthetic workload."""
+    workload = SyntheticWorkload(regions=(
+        RegionSpec(name="kernel", compute=1e-4,
+                   injector=LinearGradient(amplitude=0.2),
+                   pattern="allreduce", nbytes=4096, sync=True,
+                   repetitions=10),))
+
+    result = benchmark(workload.run, n_ranks)[0]
+    assert result.messages > 0
+
+    emit(f"Simulator throughput (P={n_ranks})",
+         format_table(["quantity", "value"],
+                      [["messages simulated", str(result.messages)],
+                       ["bytes moved", str(result.bytes_moved)],
+                       ["simulated elapsed (s)",
+                        f"{result.elapsed:.4f}"]]))

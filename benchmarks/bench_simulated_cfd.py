@@ -1,0 +1,56 @@
+"""End-to-end shape reproduction on a freshly simulated CFD execution.
+
+This is the "our testbed instead of the authors' SP2" experiment: run
+the CFD workload on the simulator, push the trace through the full
+methodology, and check every qualitative §4 finding in one place.  The
+benchmark measures the full pipeline cost (simulate + trace + profile +
+analyze), demonstrating that the post-mortem methodology is cheap.
+"""
+
+from conftest import emit
+from repro.apps import run_cfd
+from repro.core import analyze, render_full_report, render_summary
+
+
+def _full_pipeline():
+    _, _, measurements = run_cfd()
+    return analyze(measurements)
+
+
+def test_simulated_cfd_full_pipeline(benchmark):
+    analysis = benchmark.pedantic(_full_pipeline, rounds=3, iterations=1)
+
+    checks = {
+        "loop 1 heaviest": analysis.breakdown.heaviest_region == "loop 1",
+        "~quarter of runtime":
+            0.20 <= analysis.breakdown.heaviest_region_share <= 0.40,
+        "computation dominant":
+            analysis.breakdown.dominant_activity == "computation",
+        "loop 3 longest p2p":
+            {e.activity: e for e in analysis.breakdown.extremes}
+            ["point-to-point"].worst_region == "loop 3",
+        "three loops synchronize":
+            len(analysis.breakdown.regions_performing(
+                "synchronization")) == 3,
+        "clusters {1,2} vs rest":
+            set(map(frozenset, analysis.region_clusters)) == {
+                frozenset({"loop 1", "loop 2"}),
+                frozenset({"loop 3", "loop 4", "loop 5", "loop 6",
+                           "loop 7"})},
+        "sync most imbalanced (unscaled)":
+            analysis.activity_view.most_imbalanced() == "synchronization",
+        "sync negligible (scaled)":
+            analysis.activity_view.ranking(scaled=True)[-1] ==
+            "synchronization",
+        "loop 6 most imbalanced (unscaled)":
+            analysis.region_view.most_imbalanced() == "loop 6",
+        "loop 1 the tuning candidate":
+            analysis.region_view.most_imbalanced(scaled=True) == "loop 1"
+            and analysis.tuning_candidates[0] == "loop 1",
+    }
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"shape checks failed: {failed}"
+
+    emit("Simulated CFD — qualitative checklist",
+         "\n".join(f"  [ok] {name}" for name in checks))
+    emit("Simulated CFD — summary", render_summary(analysis))

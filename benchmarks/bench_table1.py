@@ -1,0 +1,53 @@
+"""Table 1 — wall clock time of the loops and its activity breakdown.
+
+Reproduction criteria: every printed ``t_ij`` matches exactly on the
+reconstructed dataset, and the §4 profiling narrative holds (loop 1 the
+heaviest at ~27% of the program; computation dominant; loop 3 the
+point-to-point-heaviest loop; three synchronizing loops).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.calibrate import paper_data
+from repro.core import characterize, render_breakdown_table
+
+
+def test_table1_reconstruction(benchmark, paper_measurements):
+    breakdown = benchmark(characterize, paper_measurements)
+
+    np.testing.assert_allclose(paper_measurements.region_activity_times,
+                               paper_data.TABLE_1, atol=1e-12)
+    np.testing.assert_allclose(paper_measurements.region_times,
+                               paper_data.TABLE_1_OVERALL, atol=5e-4)
+
+    assert breakdown.heaviest_region == paper_data.HEAVIEST_REGION
+    assert breakdown.heaviest_region_share == pytest.approx(
+        paper_data.HEAVIEST_REGION_SHARE, abs=0.01)
+    assert breakdown.dominant_activity == "computation"
+    extremes = {e.activity: e for e in breakdown.extremes}
+    assert extremes["point-to-point"].worst_region == \
+        paper_data.LONGEST_P2P_REGION
+    assert len(breakdown.regions_performing("synchronization")) == \
+        paper_data.SYNCHRONIZING_REGIONS
+
+    emit("Table 1 (reconstructed; matches the paper digit for digit)",
+         render_breakdown_table(paper_measurements))
+
+
+def test_table1_simulated_cfd(benchmark, cfd_run):
+    """The same table regenerated from a fresh simulation: absolute
+    seconds differ (different machine), the shape must hold."""
+    _, _, measurements = cfd_run
+    breakdown = benchmark(characterize, measurements)
+
+    assert breakdown.heaviest_region == "loop 1"
+    assert 0.20 <= breakdown.heaviest_region_share <= 0.40
+    assert breakdown.dominant_activity == "computation"
+    extremes = {e.activity: e for e in breakdown.extremes}
+    assert extremes["point-to-point"].worst_region == "loop 3"
+    assert len(breakdown.regions_performing("synchronization")) == 3
+
+    emit("Table 1 (simulated CFD run; shape reproduction)",
+         render_breakdown_table(measurements))

@@ -1,0 +1,60 @@
+"""Table 4 — code region view summary (``ID_C`` and ``SID_C``).
+
+Reproduction criteria: on the reconstructed dataset every value matches
+within one unit in the last printed digit; the paper's conclusions hold
+on both datasets: loop 6 is the most imbalanced region, yet loop 1 —
+combining a large index with a large time share — is the tuning
+candidate.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.calibrate import paper_data
+from repro.core import compute_region_view, render_region_view_table
+from repro.viz import format_table
+
+
+def _comparison_table(view):
+    rows = []
+    for i, region in enumerate(view.regions):
+        rows.append([
+            region,
+            f"{paper_data.TABLE_4_ID_C[region]:.5f}",
+            f"{view.index[i]:.5f}",
+            f"{paper_data.TABLE_4_SID_C[region]:.5f}",
+            f"{view.scaled_index[i]:.5f}",
+        ])
+    return format_table(
+        ["region", "ID_C paper", "ID_C ours", "SID_C paper", "SID_C ours"],
+        rows)
+
+
+def test_table4_reconstruction(benchmark, paper_measurements):
+    view = benchmark(compute_region_view, paper_measurements)
+
+    for i, region in enumerate(view.regions):
+        assert view.index[i] == pytest.approx(
+            paper_data.TABLE_4_ID_C[region], abs=2e-4)
+        assert view.scaled_index[i] == pytest.approx(
+            paper_data.TABLE_4_SID_C[region], abs=2e-5)
+
+    # §4: loop 6 the most imbalanced (ID_C = 0.13734) but short; loop 1
+    # "a good candidate as it is the core of the program and ... large
+    # values of both the index of dispersion and its scaled counterpart".
+    assert view.most_imbalanced() == "loop 6"
+    assert view.most_imbalanced(scaled=True) == "loop 1"
+    assert view.tuning_candidates()[0] == "loop 1"
+
+    emit("Table 4 (reconstructed vs paper)", _comparison_table(view))
+
+
+def test_table4_simulated_cfd(benchmark, cfd_run):
+    _, _, measurements = cfd_run
+    view = benchmark(compute_region_view, measurements)
+
+    assert view.most_imbalanced() == "loop 6"
+    assert view.most_imbalanced(scaled=True) == "loop 1"
+    assert view.tuning_candidates()[0] == "loop 1"
+
+    emit("Table 4 (simulated CFD run)", render_region_view_table(view))

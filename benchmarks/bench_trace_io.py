@@ -1,0 +1,47 @@
+"""Trace I/O throughput: the cost of the post-mortem substrate.
+
+Measures writing and reading the CFD run's trace in both plain and
+gzip-compressed form, and reports the compression ratio.  Not a paper
+experiment — it quantifies that the tracing substrate is not the
+bottleneck of the methodology.
+"""
+
+from pathlib import Path
+
+from conftest import emit
+from repro.instrument import read_trace, write_tracer
+from repro.viz import format_table
+
+
+def test_trace_write_plain(benchmark, cfd_run, tmp_path_factory):
+    _, tracer, _ = cfd_run
+    directory = tmp_path_factory.mktemp("io")
+    counter = [0]
+
+    def write():
+        counter[0] += 1
+        return write_tracer(directory / f"t{counter[0]}.jsonl", tracer)
+
+    written = benchmark(write)
+    assert written == len(tracer)
+
+
+def test_trace_roundtrip_gzip(benchmark, cfd_run, tmp_path_factory):
+    _, tracer, _ = cfd_run
+    directory = tmp_path_factory.mktemp("io")
+    plain_path = directory / "t.jsonl"
+    gzip_path = directory / "t.jsonl.gz"
+    write_tracer(plain_path, tracer)
+    write_tracer(gzip_path, tracer)
+
+    events = benchmark(read_trace, gzip_path)
+    assert len(events) == len(tracer)
+
+    ratio = plain_path.stat().st_size / gzip_path.stat().st_size
+    assert ratio > 2.0     # JSONL traces compress well
+    emit("Trace I/O", format_table(
+        ["quantity", "value"],
+        [["events", str(len(tracer))],
+         ["plain size (KiB)", f"{plain_path.stat().st_size / 1024:.0f}"],
+         ["gzip size (KiB)", f"{gzip_path.stat().st_size / 1024:.0f}"],
+         ["compression ratio", f"{ratio:.1f}x"]]))

@@ -1,0 +1,43 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or an
+ablation of a design choice), asserts the reproduction criteria, and —
+because absolute numbers matter here — prints a paper-vs-measured
+comparison.  Run with ``pytest benchmarks/ --benchmark-only -s`` to see
+the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import run_cfd
+from repro.calibrate import reconstruct
+from repro.core import analyze
+
+
+@pytest.fixture(scope="session")
+def paper_measurements():
+    """The calibrated reconstruction of the paper's dataset."""
+    return reconstruct()
+
+@pytest.fixture(scope="session")
+def paper_analysis(paper_measurements):
+    return analyze(paper_measurements)
+
+
+@pytest.fixture(scope="session")
+def cfd_run():
+    """A fresh simulated execution of the CFD workload (P = 16)."""
+    return run_cfd()
+
+
+@pytest.fixture(scope="session")
+def cfd_analysis(cfd_run):
+    return analyze(cfd_run[2])
+
+
+def emit(title: str, text: str) -> None:
+    """Print a captioned block (visible with ``pytest -s``)."""
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}\n{text}")

@@ -1,0 +1,54 @@
+"""Capstone study: efficiency, diagnosis, what-if and attribution.
+
+Run:  python examples/efficiency_study.py
+
+Puts the whole toolbox on one program — the CFD workload with its
+default injected imbalance:
+
+1. strong-scaling efficiency factorization (PE = LB x CommE) over
+   P = 4..32, separating imbalance losses from communication losses;
+2. the automated diagnosis of the P = 16 run;
+3. the what-if table: the absolute payoff of balancing each loop, and
+   who (which processors) the excess belongs to;
+4. the share heatmap, making the offenders visible.
+"""
+
+from repro.apps import CFDConfig, run_cfd
+from repro.core import (analyze, balance_predictions, diagnose,
+                        excess_by_processor, render_diagnosis,
+                        render_efficiency_table, render_predictions,
+                        scaling_analysis)
+from repro.viz import render_heatmap
+
+
+def scaling_study() -> str:
+    runs = []
+    for n_ranks in (4, 8, 16, 32):
+        config = CFDConfig(grid=(128, 128), steps=2)
+        result, _, measurements = run_cfd(config, n_ranks=n_ranks)
+        runs.append((measurements, result.elapsed))
+    return render_efficiency_table(scaling_analysis(runs))
+
+
+def main() -> None:
+    print(scaling_study())
+    print()
+
+    _, _, measurements = run_cfd()
+    analysis = analyze(measurements)
+    print(render_diagnosis(diagnose(analysis)))
+    print()
+
+    predictions = balance_predictions(measurements)
+    print(render_predictions(predictions))
+    top = predictions[0]
+    attribution = excess_by_processor(measurements, top.region)
+    offenders = ", ".join(f"rank {p}" for p in attribution.offenders(0.15))
+    print(f"\n{top.region}'s excess belongs to: "
+          + (offenders or "no single offender"))
+    print()
+    print(render_heatmap(measurements))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Scheduling policies and moving hotspots — two classic imbalance studies.
+
+Run:  python examples/scheduling_policies.py
+
+Part 1 — *static vs dynamic scheduling*.  The same irregular task farm
+(quadratic cost ramp, like triangular solves) runs under a static block
+partition and under master-worker self-scheduling.  The methodology
+quantifies the repair: the worker dispersion collapses and the run gets
+faster, at the cost of many small control messages.
+
+Part 2 — *the AMR front*.  A refinement hotspot travels across the
+ranks; averaged over the whole run every rank did the same work, so the
+standard (whole-run) analysis sees nothing.  Windowed profiles recover
+both the strong per-window imbalance and the hotspot's trajectory.
+"""
+
+import numpy as np
+
+from repro.apps import (AMRConfig, TaskFarm, run_amr, run_master_worker,
+                        worker_imbalance)
+from repro.core import dispersion_matrix
+from repro.instrument import window_profiles
+from repro.viz import format_table
+
+
+def scheduling_study() -> str:
+    farm = TaskFarm(tasks=256, chunk=4)
+    rows = []
+    for policy in ("static", "dynamic"):
+        result, _, measurements = run_master_worker(farm, 16, policy)
+        rows.append([policy,
+                     f"{worker_imbalance(measurements):.4f}",
+                     f"{result.elapsed:.4f}",
+                     str(result.messages)])
+    return format_table(
+        ["policy", "worker dispersion", "elapsed (s)", "messages"], rows,
+        title="Static blocks vs dynamic self-scheduling (P = 16)")
+
+
+def amr_study() -> str:
+    _, tracer, measurements = run_amr(AMRConfig(steps=12), n_ranks=12)
+    matrix = dispersion_matrix(measurements)
+    comp = measurements.activity_index("computation")
+    solve = measurements.region_index("solve")
+    rows = []
+    for index, window in enumerate(window_profiles(tracer, 6,
+                                                   regions=("solve",))):
+        window_matrix = dispersion_matrix(window.measurements)
+        j = window.measurements.activity_index("computation")
+        winner = int(np.argmax(window.measurements.times[0, j, :]))
+        rows.append([str(index + 1), f"{window_matrix[0, j]:.4f}",
+                     f"rank {winner}"])
+    table = format_table(["window", "solve dispersion", "hotspot"], rows,
+                         title="AMR refinement front (12 ranks, 12 steps)")
+    return (f"whole-run solve dispersion: {matrix[solve, comp]:.2e} "
+            "(the moving hotspot averages away!)\n" + table)
+
+
+def main() -> None:
+    print(scheduling_study())
+    print()
+    print(amr_study())
+    print("\nReading: dynamic self-scheduling removes work imbalance at "
+          "the price of messages;\nthe AMR hotspot is invisible to "
+          "whole-run analysis and obvious in windows.")
+
+
+if __name__ == "__main__":
+    main()

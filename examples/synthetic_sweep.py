@@ -1,0 +1,76 @@
+"""Sweep injected imbalance and processor count; watch the indices react.
+
+Run:  python examples/synthetic_sweep.py
+
+Two experiments on the synthetic workload:
+
+1. *Severity sweep* — a single straggler's work factor grows from 1.0
+   (balanced) to 2.5; the kernel's index of dispersion, its scaled
+   index, and the classic percent-imbalance baseline are tabulated.
+   The index grows monotonically and saturates as the straggler
+   dominates (the majorization maximum).
+2. *Scale sweep* — the same relative imbalance on 4..64 processors: a
+   single straggler matters less and less (its standardized share
+   approaches the balanced 1/P), yet the processor view still pins it
+   at every scale.
+"""
+
+import numpy as np
+
+from repro.apps import Straggler, imbalance_sweep_workload
+from repro.baselines import percent_imbalance
+from repro.core import analyze
+from repro.viz import format_table
+
+
+def severity_sweep() -> str:
+    rows = []
+    for factor in (1.0, 1.2, 1.5, 1.8, 2.1, 2.5):
+        workload = imbalance_sweep_workload(
+            Straggler(rank=3, factor_value=factor))
+        _, _, measurements = workload.run(8)
+        analysis = analyze(measurements, cluster_count=None)
+        kernel = measurements.region_index("kernel")
+        comp = measurements.activity_index("computation")
+        times = measurements.times[kernel, comp, :]
+        rows.append([
+            f"{factor:.1f}",
+            f"{analysis.region_view.index[kernel]:.5f}",
+            f"{analysis.region_view.scaled_index[kernel]:.5f}",
+            f"{percent_imbalance(times):.3f}",
+        ])
+    return format_table(
+        ["straggler factor", "ID_C(kernel)", "SID_C(kernel)",
+         "percent imbalance"], rows,
+        title="Severity sweep (P = 8, straggler on rank 3)")
+
+
+def scale_sweep() -> str:
+    rows = []
+    for n_ranks in (4, 8, 16, 32, 64):
+        workload = imbalance_sweep_workload(
+            Straggler(rank=1, factor_value=1.8))
+        _, _, measurements = workload.run(n_ranks)
+        analysis = analyze(measurements, cluster_count=None)
+        kernel = measurements.region_index("kernel")
+        winner = analysis.processor_view.most_imbalanced_processor("kernel")
+        rows.append([
+            str(n_ranks),
+            f"{analysis.region_view.index[kernel]:.5f}",
+            f"rank {winner}",
+        ])
+    return format_table(["P", "ID_C(kernel)", "flagged processor"], rows,
+                        title="Scale sweep (straggler factor 1.8, rank 1)")
+
+
+def main() -> None:
+    print(severity_sweep())
+    print()
+    print(scale_sweep())
+    print("\nReading: the index of dispersion rises monotonically with the "
+          "injected severity,\nand the processor view pins the planted "
+          "straggler at every scale.")
+
+
+if __name__ == "__main__":
+    main()

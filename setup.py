@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs PEP 660 (wheel) support; this offline
+environment lacks it, so `python setup.py develop` is the supported
+editable install path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

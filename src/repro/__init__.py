@@ -1,0 +1,44 @@
+"""repro — reproduction of "Load Imbalance in Parallel Programs"
+(Calzarossa, Massari, Tessera; PACT 2003).
+
+The package implements the paper's dissimilarity-analysis methodology
+(:mod:`repro.core`) together with every substrate its evaluation needs:
+a discrete-event MPI simulator (:mod:`repro.simmpi`), tracing and
+profiling (:mod:`repro.instrument`), the CFD and synthetic workloads
+(:mod:`repro.apps`), the calibrated reconstruction of the paper's
+dataset (:mod:`repro.calibrate`), classic baselines
+(:mod:`repro.baselines`) and text rendering (:mod:`repro.viz`).
+
+Quickstart::
+
+    from repro import analyze, run_cfd, render_full_report
+
+    result, tracer, measurements = run_cfd()
+    print(render_full_report(analyze(measurements)))
+"""
+
+from . import apps, baselines, calibrate, core, instrument, simmpi, viz
+from .apps import CFDConfig, SyntheticWorkload, run_cfd
+from .calibrate import reconstruct
+from .core import (AnalysisResult, MeasurementSet, Methodology, analyze,
+                   render_full_report)
+from .errors import ReproError
+from .testbed import Testbed, TestbedEntry
+from .instrument import Tracer, profile, read_trace, write_trace
+from .simmpi import NetworkModel, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps", "baselines", "calibrate", "core", "instrument", "simmpi", "viz",
+    "CFDConfig", "SyntheticWorkload", "run_cfd",
+    "reconstruct",
+    "AnalysisResult", "MeasurementSet", "Methodology", "analyze",
+    "render_full_report",
+    "ReproError",
+    "Testbed",
+    "TestbedEntry",
+    "Tracer", "profile", "read_trace", "write_trace",
+    "NetworkModel", "Simulator",
+    "__version__",
+]

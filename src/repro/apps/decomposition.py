@@ -1,0 +1,119 @@
+"""Domain decomposition utilities for the workloads.
+
+Message-passing solvers distribute a grid across ranks; how evenly that
+distribution comes out is the primary source of computational load
+imbalance.  This module provides 1-d block partitions (even and
+weighted) and a 2-d Cartesian process grid with neighbour lookup for
+halo exchanges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+
+
+def block_partition(n: int, parts: int) -> List[int]:
+    """Split ``n`` items into ``parts`` contiguous blocks as evenly as
+    possible (the first ``n % parts`` blocks get one extra item)."""
+    if parts < 1:
+        raise WorkloadError("parts must be at least 1")
+    if n < 0:
+        raise WorkloadError("n must be non-negative")
+    base, extra = divmod(n, parts)
+    return [base + (1 if index < extra else 0) for index in range(parts)]
+
+
+def weighted_partition(n: int, weights: Sequence[float]) -> List[int]:
+    """Split ``n`` items proportionally to ``weights``.
+
+    Uses largest-remainder rounding so the counts sum to ``n`` exactly.
+    A deliberately skewed weight vector is how the workloads model an
+    *uneven* domain decomposition.
+    """
+    if n < 0:
+        raise WorkloadError("n must be non-negative")
+    if not weights:
+        raise WorkloadError("weights must be non-empty")
+    if any(weight < 0.0 for weight in weights):
+        raise WorkloadError("weights must be non-negative")
+    total = float(sum(weights))
+    if total <= 0.0:
+        raise WorkloadError("weights must not all be zero")
+    exact = [n * weight / total for weight in weights]
+    counts = [int(value) for value in exact]
+    remainders = sorted(range(len(weights)),
+                        key=lambda index: (exact[index] - counts[index],
+                                           -index),
+                        reverse=True)
+    shortfall = n - sum(counts)
+    for index in remainders[:shortfall]:
+        counts[index] += 1
+    return counts
+
+
+def block_bounds(counts: Sequence[int]) -> List[Tuple[int, int]]:
+    """Half-open (start, stop) index ranges of each block."""
+    bounds = []
+    start = 0
+    for count in counts:
+        bounds.append((start, start + count))
+        start += count
+    return bounds
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A 2-d Cartesian arrangement of ``rows x cols`` ranks.
+
+    Provides the neighbour lookups a stencil solver needs for its halo
+    exchange.  Non-periodic: edge ranks have no neighbour on that side.
+    """
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise WorkloadError("process grid dimensions must be positive")
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    def coordinates(self, rank: int) -> Tuple[int, int]:
+        """(row, col) of a rank (row-major)."""
+        if not 0 <= rank < self.size:
+            raise WorkloadError(f"rank {rank} outside grid of {self.size}")
+        return divmod(rank, self.cols)
+
+    def rank_of(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise WorkloadError(f"coordinates ({row}, {col}) outside grid")
+        return row * self.cols + col
+
+    def neighbours(self, rank: int) -> List[int]:
+        """Ranks adjacent in the four cardinal directions."""
+        row, col = self.coordinates(rank)
+        result = []
+        if row > 0:
+            result.append(self.rank_of(row - 1, col))
+        if row < self.rows - 1:
+            result.append(self.rank_of(row + 1, col))
+        if col > 0:
+            result.append(self.rank_of(row, col - 1))
+        if col < self.cols - 1:
+            result.append(self.rank_of(row, col + 1))
+        return result
+
+
+def square_grid(size: int) -> ProcessGrid:
+    """The most square ``ProcessGrid`` for ``size`` ranks."""
+    if size < 1:
+        raise WorkloadError("size must be positive")
+    rows = int(size ** 0.5)
+    while size % rows != 0:
+        rows -= 1
+    return ProcessGrid(rows=rows, cols=size // rows)

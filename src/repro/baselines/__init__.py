@@ -1,0 +1,30 @@
+"""Baselines the paper positions its methodology against.
+
+* :mod:`repro.baselines.percent_imbalance` — the classic max/mean
+  imbalance metric family;
+* :mod:`repro.baselines.threshold_search` — a Paradyn-style hierarchical
+  threshold-driven bottleneck search.
+"""
+
+from .guided import DrillDownResult, DrillStep, drill_down
+from .percent_imbalance import (ImbalanceSummary, imbalance_percentage,
+                                imbalance_time, percent_imbalance,
+                                region_percent_imbalance, summarize)
+from .threshold_search import (Hypothesis, SearchResult, ThresholdSearch,
+                               search)
+
+__all__ = [
+    "DrillDownResult",
+    "DrillStep",
+    "drill_down",
+    "ImbalanceSummary",
+    "imbalance_percentage",
+    "imbalance_time",
+    "percent_imbalance",
+    "region_percent_imbalance",
+    "summarize",
+    "Hypothesis",
+    "SearchResult",
+    "ThresholdSearch",
+    "search",
+]

@@ -1,0 +1,95 @@
+"""Guided drill-down: the methodology as a search strategy.
+
+Paradyn's Performance Consultant and Deep Start [Roth & Miller 2002]
+frame diagnosis as a *search* over the resource hierarchy, testing one
+hypothesis at a time.  The paper's indices make most of that search
+unnecessary: each level has a ready ranking, so diagnosis becomes a
+direct descent —
+
+1. **activity**  — the largest scaled index ``SID_A``;
+2. **region**    — among regions performing that activity, the largest
+   time-weighted dispersion ``t_ij · ID_ij``;
+3. **processor** — within that (region, activity), the largest positive
+   excess over the mean.
+
+:func:`drill_down` performs the descent and records each step with its
+metric; its cost is three lookups versus the threshold search's dozens
+to hundreds of hypotheses (the comparison is benchmarked).  The final
+focus is directly actionable: *this processor, in this activity of this
+region, is where the significant imbalance lives*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core.measurements import MeasurementSet
+from ..core.views import compute_activity_and_region_views
+
+
+@dataclass(frozen=True)
+class DrillStep:
+    """One level of the descent."""
+
+    level: str            # "activity", "region" or "processor"
+    choice: str
+    metric: float
+
+
+@dataclass(frozen=True)
+class DrillDownResult:
+    """The descent's path and final focus."""
+
+    steps: Tuple[DrillStep, ...]
+
+    @property
+    def activity(self) -> str:
+        return self.steps[0].choice
+
+    @property
+    def region(self) -> str:
+        return self.steps[1].choice
+
+    @property
+    def processor(self) -> int:
+        return int(self.steps[2].choice.split()[-1]) - 1
+
+    @property
+    def cost(self) -> int:
+        """Lookups performed — one per level."""
+        return len(self.steps)
+
+    def describe(self) -> str:
+        parts = [f"{step.level} -> {step.choice} "
+                 f"(metric {step.metric:.5f})" for step in self.steps]
+        return "; ".join(parts)
+
+
+def drill_down(measurements: MeasurementSet,
+               index: str = "euclidean") -> DrillDownResult:
+    """Descend activity -> region -> processor using the paper's
+    indices."""
+    activity_view, _ = compute_activity_and_region_views(
+        measurements, index=index)
+
+    j = int(np.nanargmax(activity_view.scaled_index))
+    activity = measurements.activities[j]
+    steps = [DrillStep("activity", activity,
+                       float(activity_view.scaled_index[j]))]
+
+    t_ij = measurements.region_activity_times[:, j]
+    dispersion = activity_view.dispersion[:, j]
+    weighted = np.where(np.isnan(dispersion), -np.inf, t_ij * dispersion)
+    i = int(np.argmax(weighted))
+    region = measurements.regions[i]
+    steps.append(DrillStep("region", region, float(weighted[i])))
+
+    times = measurements.times[i, j, :]
+    excess = times - times.mean()
+    p = int(np.argmax(excess))
+    steps.append(DrillStep("processor", f"processor {p + 1}",
+                           float(excess[p])))
+    return DrillDownResult(steps=tuple(steps))

@@ -1,0 +1,111 @@
+"""Classic load-imbalance metrics used as baselines.
+
+Before (and after) the paper's dissimilarity methodology, the common
+practice was to summarize imbalance with moments of the per-processor
+times:
+
+* **percent imbalance** ``lambda = max/mean - 1`` — the relative extra
+  time of the slowest processor (0 = balanced);
+* **imbalance time** ``max - mean`` — the absolute saving available
+  from perfect balancing;
+* **imbalance percentage** ``(max - mean)/max * n/(n-1)`` — normalized
+  to [0, 1] (1 = all work on one processor), after DeRose et al.;
+* **standard deviation / coefficient of variation** of the times.
+
+These are *single-activity* metrics: they do not weight by time shares
+or localize across views.  The ablation benchmarks compare their
+rankings with the paper's scaled indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..core.measurements import MeasurementSet
+from ..errors import DispersionError
+
+
+def _validate(values: Sequence[float]) -> np.ndarray:
+    data = np.asarray(values, dtype=float)
+    if data.ndim != 1 or data.size == 0:
+        raise DispersionError("expected a non-empty 1-d data set")
+    if not np.all(np.isfinite(data)):
+        raise DispersionError("data set contains non-finite values")
+    if np.any(data < 0.0):
+        raise DispersionError("times must be non-negative")
+    return data
+
+
+def percent_imbalance(values: Sequence[float]) -> float:
+    """``max/mean - 1`` (undefined for all-zero data)."""
+    data = _validate(values)
+    mean = data.mean()
+    if mean <= 0.0:
+        raise DispersionError("percent imbalance undefined for zero mean")
+    return float(data.max() / mean - 1.0)
+
+
+def imbalance_time(values: Sequence[float]) -> float:
+    """``max - mean``: seconds recoverable by perfect balancing."""
+    data = _validate(values)
+    return float(data.max() - data.mean())
+
+
+def imbalance_percentage(values: Sequence[float]) -> float:
+    """``(max - mean)/max * n/(n-1)`` in [0, 1]."""
+    data = _validate(values)
+    peak = data.max()
+    if peak <= 0.0:
+        raise DispersionError("imbalance percentage undefined for zero data")
+    if data.size == 1:
+        return 0.0
+    return float((peak - data.mean()) / peak * data.size / (data.size - 1))
+
+
+@dataclass(frozen=True)
+class ImbalanceSummary:
+    """Baseline metrics of one (region, activity) pair."""
+
+    region: str
+    activity: str
+    percent: float
+    time: float
+    percentage: float
+
+
+def summarize(measurements: MeasurementSet) -> Dict[str, Dict[str, ImbalanceSummary]]:
+    """Baseline metrics for every performed (region, activity) pair.
+
+    Returns ``{region: {activity: ImbalanceSummary}}``.
+    """
+    performed = measurements.performed
+    result: Dict[str, Dict[str, ImbalanceSummary]] = {}
+    for i, region in enumerate(measurements.regions):
+        row: Dict[str, ImbalanceSummary] = {}
+        for j, activity in enumerate(measurements.activities):
+            if not performed[i, j]:
+                continue
+            times = measurements.times[i, j, :]
+            row[activity] = ImbalanceSummary(
+                region=region, activity=activity,
+                percent=percent_imbalance(times),
+                time=imbalance_time(times),
+                percentage=imbalance_percentage(times))
+        result[region] = row
+    return result
+
+
+def region_percent_imbalance(measurements: MeasurementSet) -> Dict[str, float]:
+    """Percent imbalance of each region's total per-processor times —
+    the single number a traditional profiler would report per loop."""
+    totals = measurements.processor_region_times()
+    values: Dict[str, float] = {}
+    for i, region in enumerate(measurements.regions):
+        row = totals[i, :]
+        if row.max() <= 0.0:
+            continue
+        values[region] = percent_imbalance(row)
+    return values

@@ -1,0 +1,135 @@
+"""A Paradyn-style hierarchical bottleneck search (baseline).
+
+The Paradyn Performance Consultant [Miller et al. 1995] automates
+bottleneck detection by testing hypotheses of the form "metric exceeds a
+threshold" and refining true hypotheses along resource hierarchies
+(whole program → code region → processor).  The paper positions its
+dissimilarity methodology against this style of search, so we implement
+a faithful post-mortem analogue:
+
+1. *Program level*: for every activity, test whether its share of the
+   program wall clock exceeds ``activity_threshold``.
+2. *Region refinement*: for each flagged activity, flag the regions
+   where the activity's share of the region time exceeds the threshold.
+3. *Processor refinement*: within each flagged (region, activity), flag
+   the processors whose time exceeds the mean by
+   ``processor_threshold`` (relatively).
+
+The search returns its full trail — every hypothesis tested, with
+verdicts — so benchmarks can compare both its findings and its cost
+(hypotheses tested) with the methodology's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.measurements import MeasurementSet
+from ..errors import RankingError
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    """One tested hypothesis of the hierarchical search."""
+
+    level: str                  # "program", "region" or "processor"
+    focus: Tuple[str, ...]      # (activity,), (activity, region), ...
+    metric: float
+    threshold: float
+    holds: bool
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a hierarchical bottleneck search."""
+
+    hypotheses: Tuple[Hypothesis, ...]
+    #: (activity, region, processor-index) triples flagged at the
+    #: deepest level.
+    bottlenecks: Tuple[Tuple[str, str, int], ...]
+
+    @property
+    def tested(self) -> int:
+        """Total hypotheses evaluated — the cost of the search."""
+        return len(self.hypotheses)
+
+    def flagged_regions(self) -> Tuple[Tuple[str, str], ...]:
+        """(activity, region) pairs that survived region refinement."""
+        return tuple(
+            (hypothesis.focus[0], hypothesis.focus[1])
+            for hypothesis in self.hypotheses
+            if hypothesis.level == "region" and hypothesis.holds)
+
+
+@dataclass(frozen=True)
+class ThresholdSearch:
+    """Configuration of the hierarchical search.
+
+    ``activity_threshold`` — minimum share of wall clock for an activity
+    to be considered a bottleneck (Paradyn's default hypotheses use 20%).
+    ``processor_threshold`` — how far above the mean (relatively) a
+    processor's time must be to be flagged.
+    """
+
+    activity_threshold: float = 0.20
+    processor_threshold: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.activity_threshold < 1.0:
+            raise RankingError("activity_threshold must lie in (0, 1)")
+        if self.processor_threshold < 0.0:
+            raise RankingError("processor_threshold must be non-negative")
+
+    def search(self, measurements: MeasurementSet) -> SearchResult:
+        """Run the three-level search on one measurement set."""
+        trail: List[Hypothesis] = []
+        bottlenecks: List[Tuple[str, str, int]] = []
+        total = measurements.total_time
+        activity_times = measurements.activity_times
+        t_ij = measurements.region_activity_times
+        region_times = measurements.region_times
+
+        for j, activity in enumerate(measurements.activities):
+            share = float(activity_times[j]) / total
+            program_level = Hypothesis(
+                level="program", focus=(activity,), metric=share,
+                threshold=self.activity_threshold,
+                holds=share > self.activity_threshold)
+            trail.append(program_level)
+            if not program_level.holds:
+                continue
+            for i, region in enumerate(measurements.regions):
+                if region_times[i] <= 0.0:
+                    continue
+                region_share = float(t_ij[i, j]) / float(region_times[i])
+                region_level = Hypothesis(
+                    level="region", focus=(activity, region),
+                    metric=region_share,
+                    threshold=self.activity_threshold,
+                    holds=region_share > self.activity_threshold)
+                trail.append(region_level)
+                if not region_level.holds:
+                    continue
+                times = measurements.times[i, j, :]
+                mean = times.mean()
+                if mean <= 0.0:
+                    continue
+                for p in range(measurements.n_processors):
+                    excess = float(times[p]) / mean - 1.0
+                    processor_level = Hypothesis(
+                        level="processor", focus=(activity, region, str(p)),
+                        metric=excess, threshold=self.processor_threshold,
+                        holds=excess > self.processor_threshold)
+                    trail.append(processor_level)
+                    if processor_level.holds:
+                        bottlenecks.append((activity, region, p))
+        return SearchResult(hypotheses=tuple(trail),
+                            bottlenecks=tuple(bottlenecks))
+
+
+def search(measurements: MeasurementSet, **parameters) -> SearchResult:
+    """Convenience wrapper: run a :class:`ThresholdSearch`."""
+    return ThresholdSearch(**parameters).search(measurements)

@@ -1,0 +1,25 @@
+"""Calibration against the paper's published numbers.
+
+* :mod:`repro.calibrate.paper_data` — Tables 1–4 and the §4 narrative
+  facts, recorded verbatim, plus the derived program wall clock.
+* :mod:`repro.calibrate.reconstruct` — a full ``t_ijp`` tensor solved to
+  satisfy every published constraint (the original tracefile is lost).
+"""
+
+from . import paper_data
+from .directions import (direction_from_shape, shares, spotlight,
+                         times_from_shares)
+from .reconstruct import (DESIGNATED_PROCESSOR, CalibrationReport,
+                          reconstruct, verify)
+
+__all__ = [
+    "paper_data",
+    "direction_from_shape",
+    "shares",
+    "spotlight",
+    "times_from_shares",
+    "DESIGNATED_PROCESSOR",
+    "CalibrationReport",
+    "reconstruct",
+    "verify",
+]

@@ -1,0 +1,91 @@
+"""Direction vectors for building data sets with a prescribed dispersion.
+
+Every standardized data set with ``P`` elements can be written as
+
+    shares = 1/P + d * u
+
+where ``u`` is a zero-mean unit vector (a *direction*) and ``d`` is the
+paper's index of dispersion (Euclidean distance from the balanced
+point).  The reconstruction picks directions whose *shape* realizes the
+qualitative facts the paper reports (which processor sticks out, how
+many processors sit in the upper/lower 15% band) and then scales them to
+hit the printed ``ID_ij`` exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import CalibrationError
+
+
+def direction_from_shape(shape: Sequence[float]) -> np.ndarray:
+    """Normalize an arbitrary shape into a zero-mean unit direction.
+
+    The banding (max / min / upper / lower) of ``1/P + d * shape_direction``
+    equals the banding of ``shape`` itself, because the transformation is
+    affine with a positive scale — which is what lets us design patterns
+    directly in shape space.
+    """
+    vector = np.asarray(shape, dtype=float)
+    if vector.ndim != 1 or vector.size < 2:
+        raise CalibrationError("shape must be a 1-d vector of length >= 2")
+    centered = vector - vector.mean()
+    norm = float(np.linalg.norm(centered))
+    if norm <= 0.0:
+        raise CalibrationError("shape must not be constant")
+    return centered / norm
+
+
+def spotlight(n: int, processor: int, sign: int = 1) -> np.ndarray:
+    """The direction concentrating all deviation on one processor.
+
+    ``sign=+1`` puts the processor above everyone else, ``sign=-1`` below.
+    This is the extreme direction: it maximizes the single processor's
+    deviation for a given dispersion.
+    """
+    if not 0 <= processor < n:
+        raise CalibrationError("processor index out of range")
+    if sign not in (1, -1):
+        raise CalibrationError("sign must be +1 or -1")
+    shape = np.zeros(n)
+    shape[processor] = float(sign)
+    return direction_from_shape(shape)
+
+
+def shares(n: int, dispersion: float,
+           direction: np.ndarray) -> np.ndarray:
+    """Standardized shares ``1/n + dispersion * direction``.
+
+    Raises when the result would leave the simplex (negative share) —
+    the printed dispersion is then too large for the chosen shape.
+    """
+    if direction.shape != (n,):
+        raise CalibrationError(
+            f"direction has shape {direction.shape}, expected ({n},)")
+    if dispersion < 0.0:
+        raise CalibrationError("dispersion must be non-negative")
+    values = 1.0 / n + dispersion * direction
+    if np.any(values < -1e-12):
+        raise CalibrationError(
+            f"dispersion {dispersion} pushes a share negative "
+            f"(min {values.min():.6f}); pick a flatter shape")
+    return np.clip(values, 0.0, None)
+
+
+def times_from_shares(share_vector: np.ndarray,
+                      wall_clock: float) -> np.ndarray:
+    """Per-processor times whose maximum equals ``wall_clock``.
+
+    Under the ``max`` aggregation convention the printed ``t_ij`` is the
+    slowest processor's time, so the share vector is scaled by
+    ``wall_clock / max(shares)``.
+    """
+    peak = float(share_vector.max())
+    if peak <= 0.0:
+        raise CalibrationError("shares must contain a positive entry")
+    if wall_clock <= 0.0:
+        raise CalibrationError("wall_clock must be positive")
+    return share_vector * (wall_clock / peak)

@@ -1,0 +1,200 @@
+"""The paper's published numbers (Tables 1–4 and the §4 narrative).
+
+Everything the PACT 2003 paper prints about its application example — a
+message-passing CFD program on ``P = 16`` processors of an IBM SP2, with
+seven instrumented loops and four activities — is recorded here verbatim.
+These constants are the ground truth for the golden tests, the dataset
+reconstruction and the benchmark harness.
+
+Derived quantities
+------------------
+The paper never prints the program wall clock ``T`` directly, but it is
+over-determined by the scaled indices: ``SID_A_j = (T_j / T) * ID_A_j``
+and ``SID_C_i = (t_i / T) * ID_C_i``.  Fitting ``T`` against all eleven
+printed scaled indices gives ``T ≈ 69.9 s`` (the seven loops sum to
+64.754 s, i.e. 92.6% coverage — consistent with the paper's remark that
+loop 1 alone accounts for "about 27%" of the overall wall clock time:
+19.051 / 69.9 = 27.3%).  :func:`derived_total_time` performs that fit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+#: Number of processors in the application example.
+PROCESSORS = 16
+
+#: The paper's activity names, in table order.
+ACTIVITIES: Tuple[str, ...] = (
+    "computation",
+    "point-to-point",
+    "collective",
+    "synchronization",
+)
+
+#: Loop (code region) names, in table order.
+REGIONS: Tuple[str, ...] = tuple(f"loop {i}" for i in range(1, 8))
+
+#: Table 1 — wall clock time t_ij in seconds; 0.0 encodes the dashes
+#: (activity not performed by the loop).
+TABLE_1: np.ndarray = np.array([
+    # computation  point-to-point  collective  synchronization
+    [12.24,        0.00,           6.75,       0.061],   # loop 1
+    [7.90,         0.00,           6.32,       0.000],   # loop 2
+    [5.22,         5.68,           0.00,       0.000],   # loop 3
+    [8.03,         2.51,           0.00,       0.000],   # loop 4
+    [7.53,         0.07,           1.43,       0.011],   # loop 5
+    [0.36,         0.33,           0.00,       0.002],   # loop 6
+    [0.28,         0.00,           0.03,       0.000],   # loop 7
+])
+
+#: Table 1, "overall" column — equals TABLE_1.sum(axis=1) up to print
+#: precision.
+TABLE_1_OVERALL: np.ndarray = np.array(
+    [19.051, 14.22, 10.90, 10.54, 9.041, 0.692, 0.31])
+
+#: Table 2 — indices of dispersion ID_ij (nan encodes the dashes).
+TABLE_2: np.ndarray = np.array([
+    [0.03674, np.nan,  0.06793, 0.12870],   # loop 1
+    [0.01095, np.nan,  0.00318, np.nan],    # loop 2
+    [0.00672, 0.02833, np.nan,  np.nan],    # loop 3
+    [0.01615, 0.10742, np.nan,  np.nan],    # loop 4
+    [0.00933, 0.08872, 0.04907, 0.30571],   # loop 5
+    [0.05017, 0.23200, np.nan,  0.16163],   # loop 6
+    [0.00719, np.nan,  0.01138, np.nan],    # loop 7
+])
+
+#: Table 3 — activity view summary: ID_A_j and SID_A_j.
+TABLE_3_ID_A: Dict[str, float] = {
+    "computation": 0.01904,
+    "point-to-point": 0.05973,
+    "collective": 0.03781,
+    "synchronization": 0.15559,
+}
+TABLE_3_SID_A: Dict[str, float] = {
+    "computation": 0.01132,
+    "point-to-point": 0.00734,
+    "collective": 0.00786,
+    "synchronization": 0.00016,
+}
+
+#: Table 4 — code region view summary: ID_C_i and SID_C_i.
+TABLE_4_ID_C: Dict[str, float] = {
+    "loop 1": 0.04809,
+    "loop 2": 0.00750,
+    "loop 3": 0.01798,
+    "loop 4": 0.03790,
+    "loop 5": 0.01655,
+    "loop 6": 0.13734,
+    "loop 7": 0.00760,
+}
+TABLE_4_SID_C: Dict[str, float] = {
+    "loop 1": 0.01311,
+    "loop 2": 0.00152,
+    "loop 3": 0.00280,
+    "loop 4": 0.00571,
+    "loop 5": 0.00214,
+    "loop 6": 0.00135,
+    "loop 7": 0.00003,
+}
+
+# ----------------------------------------------------------------------
+# §4 narrative facts (processor view, figures, clustering, profiling)
+# ----------------------------------------------------------------------
+
+#: "processor 1 is the most frequently imbalanced ... largest values of
+#: the index of dispersion on two loops, namely, loops 3 and 7."
+#: Zero-based processor index of the paper's "processor 1".
+MOST_FREQUENT_PROCESSOR = 0
+MOST_FREQUENT_PROCESSOR_LOOPS: Tuple[str, ...] = ("loop 3", "loop 7")
+
+#: "Processor 2 is imbalanced for the longest time ... the most
+#: imbalanced on one loop only, namely, loop 1, with an index of
+#: dispersion equal to 0.25754 and a wall clock time equal to 15.93 s."
+LONGEST_PROCESSOR = 1
+LONGEST_PROCESSOR_LOOP = "loop 1"
+LONGEST_PROCESSOR_ID_P = 0.25754
+LONGEST_PROCESSOR_TIME = 15.93
+
+#: Figure 1 narrative: on loop 4, computation times of 5 of 16 processors
+#: fall in the upper 15% interval; on loop 6, 11 of 16 fall in the lower
+#: 15% interval.
+FIGURE_1_UPPER_LOOP4 = 5
+FIGURE_1_LOWER_LOOP6 = 11
+
+#: §4 clustering: k-means on the loops yields {loop 1, loop 2} vs the rest.
+CLUSTER_HEAVY: Tuple[str, ...] = ("loop 1", "loop 2")
+CLUSTER_LIGHT: Tuple[str, ...] = ("loop 3", "loop 4", "loop 5", "loop 6",
+                                  "loop 7")
+
+#: "the heaviest loop, that is, loop 1, accounts for about 27% of the
+#: overall wall clock time."
+HEAVIEST_REGION = "loop 1"
+HEAVIEST_REGION_SHARE = 0.27
+
+#: "The loop which spends the longest time in point-to-point
+#: communications is loop 3."
+LONGEST_P2P_REGION = "loop 3"
+
+#: "only three loops perform synchronizations."
+SYNCHRONIZING_REGIONS = 3
+
+
+def loops_total_time() -> float:
+    """Wall clock time covered by the seven instrumented loops (64.754 s)."""
+    return float(TABLE_1.sum())
+
+
+def recomputed_id_a() -> Dict[str, float]:
+    """``ID_A_j`` recomputed from Tables 1 and 2 (full precision)."""
+    values: Dict[str, float] = {}
+    for j, activity in enumerate(ACTIVITIES):
+        ids = TABLE_2[:, j]
+        weights = TABLE_1[:, j]
+        mask = ~np.isnan(ids)
+        values[activity] = float(
+            (ids[mask] * weights[mask]).sum() / weights[mask].sum())
+    return values
+
+
+def recomputed_id_c() -> Dict[str, float]:
+    """``ID_C_i`` recomputed from Tables 1 and 2 (full precision)."""
+    values: Dict[str, float] = {}
+    for i, region in enumerate(REGIONS):
+        ids = TABLE_2[i, :]
+        weights = TABLE_1[i, :]
+        mask = ~np.isnan(ids)
+        values[region] = float(
+            (ids[mask] * weights[mask]).sum() / weights[mask].sum())
+    return values
+
+
+def derived_total_time() -> float:
+    """Least-squares fit of the program wall clock ``T`` from the printed
+    scaled indices (≈ 69.9 s).
+
+    Each printed scaled index gives one estimate ``T ~ w * ID / SID``
+    where ``w`` is the activity or region time; we combine them weighting
+    by ``SID`` (larger printed values carry more significant digits).
+    """
+    estimates = []
+    weights = []
+    id_a = recomputed_id_a()
+    activity_times = TABLE_1.sum(axis=0)
+    for j, activity in enumerate(ACTIVITIES):
+        sid = TABLE_3_SID_A[activity]
+        estimates.append(activity_times[j] * id_a[activity] / sid)
+        weights.append(sid)
+    id_c = recomputed_id_c()
+    region_times = TABLE_1.sum(axis=1)
+    for i, region in enumerate(REGIONS):
+        sid = TABLE_4_SID_C[region]
+        estimates.append(region_times[i] * id_c[region] / sid)
+        weights.append(sid)
+    return float(np.average(estimates, weights=weights))
+
+
+#: The fitted program wall clock time used throughout the reproduction.
+TOTAL_TIME: float = derived_total_time()

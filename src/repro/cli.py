@@ -1,0 +1,246 @@
+"""Command-line interface — the methodology as a performance tool.
+
+The paper's conclusion plans to "integrate our methodology into a
+performance tool"; this module is that integration for the reproduced
+stack.  Subcommands:
+
+* ``repro analyze TRACEFILE``   — post-mortem analysis of a trace file
+  (as written by :func:`repro.instrument.write_trace`): full report,
+  optional pattern figures and Lorenz curves.
+* ``repro paper``               — reproduce the paper's §4 example from
+  the calibrated reconstruction (tables, figures, narrative).
+* ``repro cfd``                 — run the CFD workload on the simulator,
+  analyze it, optionally keep the trace.
+* ``repro counters TRACEFILE``  — the dissimilarity analysis on counting
+  parameters (messages or bytes) instead of timings.
+
+Trace files may be JSONL (optionally gzipped) or the compact binary
+format (``.rptb``); the readers sniff the format.
+
+Invoke as ``python -m repro <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .core import analyze, render_full_report
+from .errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Load-imbalance analysis of message-passing programs "
+                    "(reproduction of Calzarossa/Massari/Tessera, "
+                    "PACT 2003).")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze_cmd = commands.add_parser(
+        "analyze", help="analyze a trace file post mortem")
+    analyze_cmd.add_argument("tracefile", help="trace written by repro "
+                                               "(.jsonl or .jsonl.gz)")
+    analyze_cmd.add_argument("--patterns", action="store_true",
+                             help="also print the per-activity pattern "
+                                  "figures")
+    analyze_cmd.add_argument("--lorenz", metavar="REGION",
+                             help="also print the Lorenz curve of one "
+                                  "region")
+    analyze_cmd.add_argument("--index", default="euclidean",
+                             help="index of dispersion (default: "
+                                  "euclidean)")
+    analyze_cmd.add_argument("--diagnose", action="store_true",
+                             help="also print the automated diagnosis")
+    analyze_cmd.add_argument("--timeline", action="store_true",
+                             help="also print the per-rank ASCII "
+                                  "timeline")
+    analyze_cmd.add_argument("--significance", type=float, metavar="EPS",
+                             help="also report the noise-calibrated "
+                                  "threshold for relative jitter EPS")
+    analyze_cmd.add_argument("--export-chrome", metavar="PATH",
+                             help="also export the trace in Chrome "
+                                  "Trace Event Format (Perfetto)")
+    analyze_cmd.add_argument("--heatmap", action="store_true",
+                             help="also print the per-processor share "
+                                  "heatmap")
+    analyze_cmd.add_argument("--whatif", action="store_true",
+                             help="also print the balancing what-if "
+                                  "table")
+
+    commands.add_parser(
+        "paper", help="reproduce the paper's application example")
+
+    cfd_cmd = commands.add_parser(
+        "cfd", help="simulate the CFD workload and analyze it")
+    cfd_cmd.add_argument("--ranks", type=int, default=16)
+    cfd_cmd.add_argument("--steps", type=int, default=4)
+    cfd_cmd.add_argument("--grid", type=int, default=256,
+                         help="square grid edge length")
+    cfd_cmd.add_argument("--trace", metavar="PATH",
+                         help="write the trace to this file")
+
+    testbed_cmd = commands.add_parser(
+        "testbed", help="manage a tracefile repository")
+    testbed_cmd.add_argument("directory")
+    testbed_actions = testbed_cmd.add_subparsers(dest="action",
+                                                 required=True)
+    testbed_actions.add_parser("list", help="list stored traces")
+    add_action = testbed_actions.add_parser("add", help="ingest a trace")
+    add_action.add_argument("tracefile")
+    add_action.add_argument("--program", required=True)
+    add_action.add_argument("--machine", required=True)
+    add_action.add_argument("--tag", action="append", default=[])
+    show_action = testbed_actions.add_parser(
+        "show", help="analyze one stored trace")
+    show_action.add_argument("trace_id")
+
+    counters_cmd = commands.add_parser(
+        "counters", help="dissimilarity analysis on counting parameters")
+    counters_cmd.add_argument("tracefile")
+    counters_cmd.add_argument("--counter", default="messages",
+                              choices=("messages", "bytes", "events"))
+    return parser
+
+
+def _command_analyze(arguments) -> int:
+    from .instrument import read_any_tracer, profile
+    tracer = read_any_tracer(arguments.tracefile)
+    measurements = profile(tracer)
+    analysis = analyze(measurements, index=arguments.index)
+    print(render_full_report(analysis))
+    if arguments.patterns:
+        from .viz import render_pattern_grid
+        for grid in analysis.patterns:
+            print()
+            print(render_pattern_grid(grid))
+    if arguments.lorenz:
+        from .viz.lorenz import render_region_lorenz
+        print()
+        print(render_region_lorenz(measurements, arguments.lorenz))
+    if arguments.diagnose:
+        from .core import diagnose, render_diagnosis
+        print()
+        print(render_diagnosis(diagnose(analysis)))
+    if arguments.timeline:
+        from .viz import render_timeline
+        print()
+        print(render_timeline(tracer))
+    if arguments.export_chrome:
+        from .instrument import export_chrome_trace
+        count = export_chrome_trace(arguments.export_chrome, tracer)
+        print(f"\nexported {count} events to {arguments.export_chrome}")
+    if arguments.heatmap:
+        from .viz import render_heatmap
+        print()
+        print(render_heatmap(measurements))
+    if arguments.whatif:
+        from .core import balance_predictions, render_predictions
+        print()
+        print(render_predictions(balance_predictions(measurements)))
+    if arguments.significance is not None:
+        from .core import noise_quantile
+        threshold = noise_quantile(measurements.n_processors,
+                                   epsilon=arguments.significance)
+        import numpy as np
+        significant = int((np.nan_to_num(analysis.activity_view.dispersion)
+                           > threshold).sum())
+        print(f"\nnoise-calibrated threshold (eps="
+              f"{arguments.significance:g}, q=0.95): {threshold:.5f}; "
+              f"{significant} (region, activity) pairs exceed it")
+    return 0
+
+
+def _command_paper(arguments) -> int:
+    from .calibrate import reconstruct, verify
+    measurements = reconstruct()
+    report = verify(measurements)
+    print(report.describe())
+    print()
+    print(render_full_report(analyze(measurements)))
+    return 0 if report.passed else 1
+
+
+def _command_cfd(arguments) -> int:
+    from .apps import CFDConfig, run_cfd
+    config = CFDConfig(grid=(arguments.grid, arguments.grid),
+                       steps=arguments.steps)
+    result, tracer, measurements = run_cfd(config, n_ranks=arguments.ranks)
+    print(f"simulated {result.elapsed:.3f} s on {arguments.ranks} ranks "
+          f"({result.messages} messages, {len(tracer)} events)\n")
+    print(render_full_report(analyze(measurements)))
+    if arguments.trace:
+        if str(arguments.trace).endswith(".rptb"):
+            from .instrument import write_binary_trace
+            count = write_binary_trace(arguments.trace, tracer.events)
+        else:
+            from .instrument import write_tracer
+            count = write_tracer(arguments.trace, tracer)
+        print(f"\nwrote {count} events to {arguments.trace}")
+    return 0
+
+
+def _command_counters(arguments) -> int:
+    from .instrument import read_any_tracer
+    from .instrument.counters import count_profile
+    tracer = read_any_tracer(arguments.tracefile)
+    measurements = count_profile(tracer, counter=arguments.counter)
+    analysis = analyze(measurements, cluster_count=None)
+    print(f"counting parameter: {arguments.counter}\n")
+    print(render_full_report(analysis))
+    return 0
+
+
+def _command_testbed(arguments) -> int:
+    from .testbed import Testbed
+    testbed = Testbed(arguments.directory)
+    if arguments.action == "list":
+        if len(testbed) == 0:
+            print("(empty testbed)")
+        for entry in testbed.entries():
+            tags = f" [{', '.join(entry.tags)}]" if entry.tags else ""
+            print(f"{entry.trace_id}: {entry.program} on {entry.machine}, "
+                  f"P={entry.n_ranks}, {entry.events} events, "
+                  f"{entry.elapsed:.4g} s{tags}")
+        return 0
+    if arguments.action == "add":
+        from .instrument import read_any_tracer
+        tracer = read_any_tracer(arguments.tracefile)
+        entry = testbed.store(tracer, program=arguments.program,
+                              machine=arguments.machine,
+                              tags=tuple(arguments.tag))
+        print(f"stored as {entry.trace_id}")
+        return 0
+    # show
+    from .instrument import profile
+    tracer = testbed.load(arguments.trace_id)
+    print(render_full_report(analyze(profile(tracer))))
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _command_analyze,
+    "paper": _command_paper,
+    "cfd": _command_cfd,
+    "counters": _command_counters,
+    "testbed": _command_testbed,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return _COMMANDS[arguments.command](arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":     # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""The paper's contribution: the load-imbalance analysis methodology.
+
+Public surface:
+
+* :class:`MeasurementSet` — the ``t_ijp`` tensor with labels and the
+  aggregation conventions;
+* standardization, indices of dispersion and majorization theory;
+* the three dissimilarity views and their ranking criteria;
+* coarse-grain characterization, clustering and pattern classification;
+* :func:`analyze` / :class:`Methodology` — the end-to-end pipeline;
+* report rendering (the paper's tables as text).
+"""
+
+from .comparison import (ComparisonReport, RegionDelta,
+                         compare, render_comparison)
+from .bootstrap import (BootstrapInterval, bootstrap_interval,
+                        region_intervals)
+from .breakdown import ActivityExtremes, ProgramBreakdown, characterize
+from .clustering import (KMeansResult, choose_k, cluster_regions, kmeans,
+                         silhouette_score)
+from .dispersion import (available_indices, coefficient_of_variation,
+                         euclidean_distance, get_index, gini_coefficient,
+                         imbalance_time, mean_absolute_deviation,
+                         register_index, theil_index, variance)
+from .majorization import (balanced_vector, comparable, concentrated_vector,
+                           equivalent, lorenz_curve, lorenz_dominates,
+                           majorizes, spread_order, t_transform,
+                           weakly_majorizes)
+from .measurements import DEFAULT_ACTIVITIES, MeasurementSet
+from .methodology import AnalysisResult, Methodology, analyze
+from .patterns import Band, PatternGrid, band_counts, classify, pattern_grid
+from .ranking import (RankedItem, RankingResult, agreement, kendall_distance,
+                      rank, rank_by_elbow, rank_by_maximum,
+                      rank_by_percentile, rank_by_share,
+                      rank_by_threshold)
+from .report import (render_activity_view_table, render_breakdown_table,
+                     render_dispersion_table, render_full_report,
+                     render_processor_view_table,
+                     render_region_view_table, render_summary)
+from .efficiency import (Efficiency, ScalingPoint, efficiency,
+                         render_efficiency_table, scaling_analysis)
+from .whatif import (BalancePrediction, ExcessAttribution,
+                     balance_activity_predictions,
+                     balance_everything, balance_predictions,
+                     excess_by_processor, render_predictions)
+from .diagnosis import Finding, diagnose, render_diagnosis
+from .significance import NoiseModel, noise_quantile, p_value
+from .temporal import (RegionTrend, TemporalAnalysis,
+                       temporal_analysis)
+from .standardize import (balanced_point, standardize,
+                          standardize_over_activities,
+                          standardize_over_processors,
+                          standardize_region_profiles)
+from .views import (ActivityView, CodeRegionView, ProcessorSummary,
+                    ProcessorView, compute_activity_and_region_views,
+                    compute_activity_view, compute_processor_view,
+                    compute_region_view, dispersion_matrix)
+
+__all__ = [
+    "ActivityExtremes", "ProgramBreakdown", "characterize",
+    "BootstrapInterval", "bootstrap_interval", "region_intervals",
+    "KMeansResult", "choose_k", "cluster_regions", "kmeans",
+    "silhouette_score",
+    "available_indices", "coefficient_of_variation", "euclidean_distance",
+    "get_index", "gini_coefficient", "imbalance_time",
+    "mean_absolute_deviation", "register_index", "theil_index", "variance",
+    "balanced_vector", "comparable", "concentrated_vector", "equivalent",
+    "lorenz_curve", "lorenz_dominates", "majorizes", "spread_order",
+    "t_transform", "weakly_majorizes",
+    "DEFAULT_ACTIVITIES", "MeasurementSet",
+    "AnalysisResult", "Methodology", "analyze",
+    "Band", "PatternGrid", "band_counts", "classify", "pattern_grid",
+    "RankedItem", "RankingResult", "agreement", "kendall_distance", "rank",
+    "rank_by_elbow", "rank_by_maximum", "rank_by_percentile",
+    "rank_by_share", "rank_by_threshold",
+    "ComparisonReport", "RegionDelta", "compare", "render_comparison",
+    "render_activity_view_table", "render_breakdown_table",
+    "render_dispersion_table", "render_full_report",
+    "render_processor_view_table",
+    "render_region_view_table", "render_summary",
+    "RegionTrend", "TemporalAnalysis", "temporal_analysis",
+    "Finding", "diagnose", "render_diagnosis",
+    "Efficiency", "ScalingPoint", "efficiency",
+    "render_efficiency_table", "scaling_analysis",
+    "BalancePrediction", "ExcessAttribution",
+    "balance_activity_predictions",
+    "balance_everything", "balance_predictions",
+    "excess_by_processor", "render_predictions",
+    "NoiseModel", "noise_quantile", "p_value",
+    "balanced_point", "standardize", "standardize_over_activities",
+    "standardize_over_processors", "standardize_region_profiles",
+    "ActivityView", "CodeRegionView", "ProcessorSummary", "ProcessorView",
+    "compute_activity_and_region_views", "compute_activity_view",
+    "compute_processor_view", "compute_region_view", "dispersion_matrix",
+]

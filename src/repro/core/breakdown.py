@@ -1,0 +1,115 @@
+"""Coarse-grain characterization of a program (paper §2).
+
+Before studying processor dissimilarities, the methodology breaks the
+program wall clock time down by activity and by code region:
+
+* the activity with the largest ``T_j`` is the **dominant activity** —
+  a potential bottleneck class;
+* the region with the largest ``t_i`` is the **heaviest region** — the
+  program's core or an inefficiency;
+* per activity, the **worst** and **best** regions (maximum and minimum
+  ``t_ij`` among regions that perform the activity);
+* the region spending the most time in the dominant activity.
+
+:func:`characterize` bundles all of this in a :class:`ProgramBreakdown`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .measurements import MeasurementSet
+
+
+@dataclass(frozen=True)
+class ActivityExtremes:
+    """Worst (max time) and best (min time) regions for one activity."""
+
+    activity: str
+    worst_region: str
+    worst_time: float
+    best_region: str
+    best_time: float
+
+
+@dataclass(frozen=True)
+class ProgramBreakdown:
+    """Coarse-grain performance properties of a program."""
+
+    measurements: MeasurementSet
+    #: Activity with the largest total wall clock time ``T_j``.
+    dominant_activity: str
+    #: Region with the largest wall clock time ``t_i``.
+    heaviest_region: str
+    #: Fraction of the program wall clock taken by the heaviest region.
+    heaviest_region_share: float
+    #: Region with the largest time in the dominant activity.
+    dominant_activity_region: str
+    #: Per-activity worst/best regions.
+    extremes: Tuple[ActivityExtremes, ...]
+
+    @property
+    def activity_shares(self) -> Dict[str, float]:
+        """Fraction of the program wall clock per activity."""
+        times = self.measurements.activity_times
+        total = self.measurements.total_time
+        return {name: float(value) / total
+                for name, value in zip(self.measurements.activities, times)}
+
+    @property
+    def region_shares(self) -> Dict[str, float]:
+        """Fraction of the program wall clock per region."""
+        times = self.measurements.region_times
+        total = self.measurements.total_time
+        return {name: float(value) / total
+                for name, value in zip(self.measurements.regions, times)}
+
+    def regions_performing(self, activity: str) -> Tuple[str, ...]:
+        """Regions that perform the given activity at all."""
+        j = self.measurements.activity_index(activity)
+        performed = self.measurements.performed[:, j]
+        return tuple(name for name, flag
+                     in zip(self.measurements.regions, performed) if flag)
+
+
+def _extremes_for(measurements: MeasurementSet, j: int) -> Optional[ActivityExtremes]:
+    t_ij = measurements.region_activity_times[:, j]
+    performed = measurements.performed[:, j]
+    if not np.any(performed):
+        return None
+    candidates = np.where(performed, t_ij, np.nan)
+    worst = int(np.nanargmax(candidates))
+    best = int(np.nanargmin(candidates))
+    return ActivityExtremes(
+        activity=measurements.activities[j],
+        worst_region=measurements.regions[worst],
+        worst_time=float(t_ij[worst]),
+        best_region=measurements.regions[best],
+        best_time=float(t_ij[best]),
+    )
+
+
+def characterize(measurements: MeasurementSet) -> ProgramBreakdown:
+    """Compute the coarse-grain breakdown of a program's measurements."""
+    activity_times = measurements.activity_times
+    region_times = measurements.region_times
+    dominant_j = int(np.argmax(activity_times))
+    heaviest_i = int(np.argmax(region_times))
+    t_ij = measurements.region_activity_times
+    dominant_region_i = int(np.argmax(t_ij[:, dominant_j]))
+    extremes = tuple(
+        extreme for extreme in
+        (_extremes_for(measurements, j) for j in range(measurements.n_activities))
+        if extreme is not None
+    )
+    return ProgramBreakdown(
+        measurements=measurements,
+        dominant_activity=measurements.activities[dominant_j],
+        heaviest_region=measurements.regions[heaviest_i],
+        heaviest_region_share=float(region_times[heaviest_i]) / measurements.total_time,
+        dominant_activity_region=measurements.regions[dominant_region_i],
+        extremes=extremes,
+    )

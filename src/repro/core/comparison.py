@@ -1,0 +1,154 @@
+"""Before/after comparison — the verification step of the tuning loop.
+
+Paper §2 frames tuning as an iterative process: *identification and
+localization of inefficiencies, their repair, and the verification and
+validation of the achieved performance*.  The methodology covers the
+first two; this module implements the third: given measurements of a
+program before and after a repair, quantify what changed —
+
+* overall speedup and per-region time deltas;
+* per-region and per-activity changes of the (scaled) indices of
+  dispersion;
+* regressions: regions that got slower or more imbalanced.
+
+Both measurement sets must describe the same program (same regions and
+activities, same processor count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import MeasurementError
+from .measurements import MeasurementSet
+from .views import compute_activity_and_region_views
+
+
+@dataclass(frozen=True)
+class RegionDelta:
+    """Change of one code region between two runs."""
+
+    region: str
+    time_before: float
+    time_after: float
+    index_before: float
+    index_after: float
+
+    @property
+    def speedup(self) -> float:
+        """time_before / time_after (> 1 is an improvement)."""
+        if self.time_after <= 0.0:
+            return float("inf") if self.time_before > 0.0 else 1.0
+        return self.time_before / self.time_after
+
+    @property
+    def index_change(self) -> float:
+        """index_after - index_before (< 0 is an improvement)."""
+        before = 0.0 if np.isnan(self.index_before) else self.index_before
+        after = 0.0 if np.isnan(self.index_after) else self.index_after
+        return after - before
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Outcome of comparing two runs of the same program."""
+
+    #: Overall speedup: T_before / T_after.
+    speedup: float
+    regions: Tuple[RegionDelta, ...]
+    #: Activity name -> (ID_A before, ID_A after).
+    activity_indices: Dict[str, Tuple[float, float]]
+
+    @property
+    def improved_regions(self) -> Tuple[str, ...]:
+        """Regions that got faster."""
+        return tuple(delta.region for delta in self.regions
+                     if delta.speedup > 1.0)
+
+    @property
+    def time_regressions(self) -> Tuple[str, ...]:
+        """Regions that got slower (beyond 1% tolerance)."""
+        return tuple(delta.region for delta in self.regions
+                     if delta.speedup < 0.99)
+
+    @property
+    def imbalance_regressions(self) -> Tuple[str, ...]:
+        """Regions whose index of dispersion grew (beyond 1e-6)."""
+        return tuple(delta.region for delta in self.regions
+                     if delta.index_change > 1e-6)
+
+    @property
+    def validated(self) -> bool:
+        """The repair helped overall and regressed nothing."""
+        return self.speedup > 1.0 and not self.time_regressions
+
+
+def compare(before: MeasurementSet, after: MeasurementSet,
+            index: str = "euclidean") -> ComparisonReport:
+    """Compare two measurement sets of the same program."""
+    if before.regions != after.regions:
+        raise MeasurementError(
+            f"region sets differ: {before.regions} vs {after.regions}")
+    if before.activities != after.activities:
+        raise MeasurementError(
+            f"activity sets differ: {before.activities} vs "
+            f"{after.activities}")
+    if before.n_processors != after.n_processors:
+        raise MeasurementError(
+            f"processor counts differ: {before.n_processors} vs "
+            f"{after.n_processors}")
+
+    activity_before, region_before = compute_activity_and_region_views(
+        before, index=index)
+    activity_after, region_after = compute_activity_and_region_views(
+        after, index=index)
+
+    deltas = tuple(
+        RegionDelta(
+            region=region,
+            time_before=float(before.region_times[i]),
+            time_after=float(after.region_times[i]),
+            index_before=float(region_before.index[i]),
+            index_after=float(region_after.index[i]),
+        )
+        for i, region in enumerate(before.regions))
+    activities = {
+        activity: (float(activity_before.index[j]),
+                   float(activity_after.index[j]))
+        for j, activity in enumerate(before.activities)
+    }
+    return ComparisonReport(
+        speedup=before.total_time / after.total_time,
+        regions=deltas,
+        activity_indices=activities,
+    )
+
+
+def render_comparison(report: ComparisonReport) -> str:
+    """Text rendering of a comparison report."""
+    from ..viz.tables import format_table
+    rows = []
+    for delta in report.regions:
+        rows.append([
+            delta.region,
+            f"{delta.time_before:.4g}",
+            f"{delta.time_after:.4g}",
+            f"{delta.speedup:.2f}x",
+            f"{delta.index_change:+.5f}",
+        ])
+    table = format_table(
+        ["region", "time before (s)", "time after (s)", "speedup",
+         "ID_C change"], rows,
+        title=f"Tuning validation — overall speedup {report.speedup:.2f}x")
+    notes = []
+    if report.time_regressions:
+        notes.append("time regressions: " +
+                     ", ".join(report.time_regressions))
+    if report.imbalance_regressions:
+        notes.append("imbalance regressions: " +
+                     ", ".join(report.imbalance_regressions))
+    notes.append("validated" if report.validated else "NOT validated")
+    return table + "\n" + "\n".join(notes)

@@ -1,0 +1,170 @@
+"""Indices of dispersion (step 2 of the methodology).
+
+Majorization theory measures how spread out a data set is via *indices of
+dispersion*.  The paper lists several candidates — variance, coefficient
+of variation, Euclidean distance, mean absolute deviation, maximum, sum —
+and selects the **Euclidean distance between each element and the mean**
+because it measures spread with respect to the perfectly balanced
+condition where every processor spends the same time.
+
+This module implements that index plus the rest of the family, behind a
+common registry so analyses can be re-run with a different index (used by
+the dispersion-choice ablation).  Every index here is *Schur-convex* on
+standardized data (constant-sum vectors): if ``x`` majorizes ``y`` then
+``index(x) >= index(y)``, which is the property that makes it a valid
+measure of spread under majorization theory.  The test suite checks this
+property with hypothesis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from ..errors import DispersionError
+
+IndexFunction = Callable[[np.ndarray], float]
+
+_REGISTRY: Dict[str, IndexFunction] = {}
+
+
+def register_index(name: str) -> Callable[[IndexFunction], IndexFunction]:
+    """Decorator registering an index of dispersion under ``name``."""
+
+    def decorator(function: IndexFunction) -> IndexFunction:
+        if name in _REGISTRY:
+            raise DispersionError(f"index {name!r} already registered")
+        _REGISTRY[name] = function
+        return function
+
+    return decorator
+
+
+def available_indices() -> tuple:
+    """Names of all registered indices of dispersion."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_index(name: str) -> IndexFunction:
+    """Look up a registered index of dispersion by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DispersionError(
+            f"unknown index of dispersion {name!r}; "
+            f"available: {available_indices()}") from None
+
+
+def _validate(values: Sequence[float]) -> np.ndarray:
+    data = np.asarray(values, dtype=float)
+    if data.ndim != 1:
+        raise DispersionError(f"expected a 1-d data set, got shape {data.shape}")
+    if data.size == 0:
+        raise DispersionError("cannot measure the dispersion of an empty data set")
+    if not np.all(np.isfinite(data)):
+        raise DispersionError("data set contains non-finite values")
+    return data
+
+
+@register_index("euclidean")
+def euclidean_distance(values: Sequence[float]) -> float:
+    """Euclidean distance between the elements and their mean.
+
+    This is the paper's index: ``sqrt(sum_p (x_p - mean(x))^2)``.  On
+    standardized data it is the distance from the balanced point ``1/P``.
+    """
+    data = _validate(values)
+    return float(np.linalg.norm(data - data.mean()))
+
+
+@register_index("variance")
+def variance(values: Sequence[float]) -> float:
+    """Population variance of the data set."""
+    data = _validate(values)
+    return float(data.var())
+
+
+@register_index("cv")
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Standard deviation divided by the mean (undefined for zero mean)."""
+    data = _validate(values)
+    mean = data.mean()
+    if mean == 0.0:
+        raise DispersionError("coefficient of variation undefined for zero mean")
+    return float(data.std() / mean)
+
+
+@register_index("mad")
+def mean_absolute_deviation(values: Sequence[float]) -> float:
+    """Mean absolute deviation from the mean."""
+    data = _validate(values)
+    return float(np.abs(data - data.mean()).mean())
+
+
+@register_index("max")
+def maximum(values: Sequence[float]) -> float:
+    """The largest element of the data set."""
+    data = _validate(values)
+    return float(data.max())
+
+
+@register_index("range")
+def value_range(values: Sequence[float]) -> float:
+    """Difference between the largest and smallest elements."""
+    data = _validate(values)
+    return float(data.max() - data.min())
+
+
+@register_index("sum")
+def total(values: Sequence[float]) -> float:
+    """Sum of the elements (trivially constant on standardized data)."""
+    data = _validate(values)
+    return float(data.sum())
+
+
+@register_index("gini")
+def gini_coefficient(values: Sequence[float]) -> float:
+    """Gini coefficient: mean absolute difference over twice the mean.
+
+    A classical inequality index; zero for balanced data, approaching
+    ``1 - 1/n`` when one element carries everything.  Requires
+    non-negative data with a positive sum.
+    """
+    data = _validate(values)
+    if np.any(data < 0.0):
+        raise DispersionError("Gini coefficient requires non-negative data")
+    total_value = data.sum()
+    if total_value <= 0.0:
+        raise DispersionError("Gini coefficient undefined for zero-sum data")
+    sorted_data = np.sort(data)
+    n = data.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * sorted_data).sum() / (n * total_value)) -
+                 (n + 1.0) / n)
+
+
+@register_index("theil")
+def theil_index(values: Sequence[float]) -> float:
+    """Theil entropy index of inequality (zero iff perfectly balanced)."""
+    data = _validate(values)
+    if np.any(data < 0.0):
+        raise DispersionError("Theil index requires non-negative data")
+    mean = data.mean()
+    if mean <= 0.0:
+        raise DispersionError("Theil index undefined for zero-sum data")
+    shares = data / mean
+    positive = shares[shares > 0.0]
+    return float((positive * np.log(positive)).sum() / data.size)
+
+
+def imbalance_time(values: Sequence[float]) -> float:
+    """Absolute imbalance time: ``max(x) - mean(x)``.
+
+    Not an index of dispersion in the paper's standardized sense (it is
+    not scale-free) but a widely used absolute companion metric: the time
+    the slowest processor spends beyond the average, i.e. the potential
+    saving from perfect balancing.
+    """
+    data = _validate(values)
+    return float(data.max() - data.mean())

@@ -1,0 +1,154 @@
+"""Parallel-efficiency factorization (POP-style) on top of the tensor.
+
+The paper measures *where* imbalance lives; efficiency metrics measure
+*how much it costs*.  The standard multiplicative factorization (as
+popularized by the POP Centre of Excellence, with roots in exactly the
+kind of breakdown the paper performs) splits parallel efficiency into a
+load-balance factor and a communication factor:
+
+    useful_p   = computation time of processor p (over the whole run)
+    LB         = mean_p(useful) / max_p(useful)        (load balance)
+    CommE      = max_p(useful) / elapsed               (communication
+                                                        efficiency: the
+                                                        critical path's
+                                                        non-compute share)
+    PE         = LB * CommE = mean_p(useful) / elapsed (parallel
+                                                        efficiency)
+
+All three live in (0, 1]; `1 - LB` is the fraction of the allocation
+wasted by imbalance alone.  :func:`scaling_analysis` applies the
+factorization across runs at different processor counts, separating
+"we lost efficiency to imbalance" from "we lost it to communication" as
+the machine grows — the quantitative counterpart of the paper's
+qualitative views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MeasurementError
+from .measurements import MeasurementSet
+
+#: Activity treated as useful work.
+USEFUL_ACTIVITY = "computation"
+
+
+@dataclass(frozen=True)
+class Efficiency:
+    """The efficiency factorization of one run."""
+
+    n_processors: int
+    #: Mean useful (computation) time per processor.
+    mean_useful: float
+    #: The most loaded processor's useful time.
+    max_useful: float
+    #: Program elapsed time used as the denominator.
+    elapsed: float
+
+    @property
+    def load_balance(self) -> float:
+        """``mean/max`` of useful time — 1 means perfectly balanced."""
+        return self.mean_useful / self.max_useful
+
+    @property
+    def communication_efficiency(self) -> float:
+        """Critical-path share of useful work: ``max_useful / elapsed``."""
+        return min(self.max_useful / self.elapsed, 1.0)
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """``mean_useful / elapsed`` = LB * CommE (up to the clamp)."""
+        return min(self.mean_useful / self.elapsed, 1.0)
+
+    @property
+    def imbalance_cost(self) -> float:
+        """Fraction of the allocation wasted by imbalance: ``1 - LB``."""
+        return 1.0 - self.load_balance
+
+
+def efficiency(measurements: MeasurementSet,
+               elapsed: Optional[float] = None,
+               useful_activity: str = USEFUL_ACTIVITY) -> Efficiency:
+    """Compute the factorization for one measurement set.
+
+    ``elapsed`` defaults to the program wall clock ``T``; pass the
+    simulator's measured elapsed when instrumentation coverage is
+    partial.
+    """
+    j = measurements.activity_index(useful_activity)
+    useful = measurements.times[:, j, :].sum(axis=0)
+    if useful.max() <= 0.0:
+        raise MeasurementError(
+            f"no {useful_activity!r} time recorded; cannot compute "
+            "efficiency")
+    denominator = float(elapsed) if elapsed is not None \
+        else measurements.total_time
+    if denominator <= 0.0:
+        raise MeasurementError("elapsed time must be positive")
+    return Efficiency(
+        n_processors=measurements.n_processors,
+        mean_useful=float(useful.mean()),
+        max_useful=float(useful.max()),
+        elapsed=denominator,
+    )
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Efficiency of one run within a scaling study."""
+
+    n_processors: int
+    efficiency: Efficiency
+    #: Speedup relative to the study's smallest run (same total work
+    #: assumption left to the caller).
+    speedup: float
+
+
+def scaling_analysis(runs: Sequence[Tuple[MeasurementSet, float]]
+                     ) -> Tuple[ScalingPoint, ...]:
+    """Factorize a strong-scaling series.
+
+    ``runs`` is a sequence of ``(measurements, elapsed)`` pairs at
+    increasing processor counts.  Speedups are relative to the first
+    run's elapsed time.
+    """
+    if not runs:
+        raise MeasurementError("need at least one run")
+    baseline_elapsed = float(runs[0][1])
+    if baseline_elapsed <= 0.0:
+        raise MeasurementError("baseline elapsed must be positive")
+    points = []
+    previous_p = 0
+    for measurements, elapsed in runs:
+        if measurements.n_processors <= previous_p:
+            raise MeasurementError(
+                "runs must come in increasing processor count")
+        previous_p = measurements.n_processors
+        points.append(ScalingPoint(
+            n_processors=measurements.n_processors,
+            efficiency=efficiency(measurements, elapsed=elapsed),
+            speedup=baseline_elapsed / float(elapsed),
+        ))
+    return tuple(points)
+
+
+def render_efficiency_table(points: Sequence[ScalingPoint]) -> str:
+    """Text table of a scaling study's factorization."""
+    from ..viz.tables import format_table
+    rows = []
+    for point in points:
+        eff = point.efficiency
+        rows.append([
+            str(point.n_processors),
+            f"{point.speedup:.2f}x",
+            f"{eff.parallel_efficiency:.3f}",
+            f"{eff.load_balance:.3f}",
+            f"{eff.communication_efficiency:.3f}",
+        ])
+    return format_table(
+        ["P", "speedup", "parallel eff.", "load balance", "comm eff."],
+        rows, title="Efficiency factorization (PE = LB x CommE)")

@@ -1,0 +1,199 @@
+"""Majorization theory [Marshall & Olkin 1979], the paper's foundation.
+
+Majorization formalizes "is more spread out than": for vectors ``x`` and
+``y`` with equal sums, ``x`` majorizes ``y`` (written ``x > y``) when the
+partial sums of the elements of ``x`` sorted in decreasing order dominate
+those of ``y``.  The perfectly balanced vector is majorized by every
+other vector with the same sum; a vector concentrating everything on one
+element majorizes every other.
+
+The paper builds its indices of dispersion on this theory: any
+*Schur-convex* function respects the majorization preorder, so it can be
+used to (partially) rank data sets by their spread.  This module provides
+
+* the majorization and weak-majorization predicates,
+* Lorenz curves and Lorenz dominance (equivalent to majorization for
+  equal-sum non-negative vectors),
+* T-transforms ("Robin Hood" operations) that move a vector strictly down
+  the majorization order — used by the property tests to certify the
+  Schur-convexity of the dispersion indices,
+* the extreme points of the majorization order for a given sum.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MajorizationError
+
+#: Tolerance for the floating-point comparisons in the predicates.
+DEFAULT_TOLERANCE = 1e-9
+
+
+def _as_vector(values: Sequence[float], name: str) -> np.ndarray:
+    data = np.asarray(values, dtype=float)
+    if data.ndim != 1 or data.size == 0:
+        raise MajorizationError(f"{name} must be a non-empty 1-d vector")
+    if not np.all(np.isfinite(data)):
+        raise MajorizationError(f"{name} contains non-finite values")
+    return data
+
+
+def _partial_sums_desc(data: np.ndarray) -> np.ndarray:
+    return np.cumsum(np.sort(data)[::-1])
+
+
+def majorizes(x: Sequence[float], y: Sequence[float],
+              tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """``True`` when ``x`` majorizes ``y``.
+
+    Requires equal length and (within ``tolerance``) equal sums, which is
+    what standardization guarantees.  Raises on mismatched lengths; for
+    mismatched sums, majorization simply does not hold.
+    """
+    vector_x = _as_vector(x, "x")
+    vector_y = _as_vector(y, "y")
+    if vector_x.size != vector_y.size:
+        raise MajorizationError(
+            f"cannot compare vectors of different sizes "
+            f"({vector_x.size} vs {vector_y.size})")
+    if abs(vector_x.sum() - vector_y.sum()) > tolerance:
+        return False
+    sums_x = _partial_sums_desc(vector_x)
+    sums_y = _partial_sums_desc(vector_y)
+    return bool(np.all(sums_x >= sums_y - tolerance))
+
+
+def weakly_majorizes(x: Sequence[float], y: Sequence[float],
+                     tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """Weak (sub)majorization: partial-sum dominance without the equal-sum
+    requirement."""
+    vector_x = _as_vector(x, "x")
+    vector_y = _as_vector(y, "y")
+    if vector_x.size != vector_y.size:
+        raise MajorizationError(
+            f"cannot compare vectors of different sizes "
+            f"({vector_x.size} vs {vector_y.size})")
+    sums_x = _partial_sums_desc(vector_x)
+    sums_y = _partial_sums_desc(vector_y)
+    return bool(np.all(sums_x >= sums_y - tolerance))
+
+
+def equivalent(x: Sequence[float], y: Sequence[float],
+               tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """``True`` when ``x`` and ``y`` are permutations of each other
+    (mutual majorization)."""
+    return majorizes(x, y, tolerance) and majorizes(y, x, tolerance)
+
+
+def comparable(x: Sequence[float], y: Sequence[float],
+               tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """``True`` when the two vectors are ordered either way.
+
+    Majorization is only a *partial* order; the paper stresses that some
+    data sets simply cannot be ranked by spread without choosing an index.
+    """
+    return majorizes(x, y, tolerance) or majorizes(y, x, tolerance)
+
+
+def lorenz_curve(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Lorenz curve of a non-negative data set.
+
+    Returns ``(fractions, cumulative_shares)``: for ``k = 0..n`` the
+    cumulative share of the total held by the ``k`` *smallest* elements.
+    The curve of a balanced data set is the diagonal; more spread pushes
+    it below the diagonal.
+    """
+    data = _as_vector(values, "values")
+    if np.any(data < 0.0):
+        raise MajorizationError("Lorenz curves require non-negative data")
+    total = data.sum()
+    if total <= 0.0:
+        raise MajorizationError("Lorenz curve undefined for zero-sum data")
+    sorted_data = np.sort(data)
+    shares = np.concatenate([[0.0], np.cumsum(sorted_data) / total])
+    fractions = np.linspace(0.0, 1.0, data.size + 1)
+    return fractions, shares
+
+
+def lorenz_dominates(x: Sequence[float], y: Sequence[float],
+                     tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """``True`` when the Lorenz curve of ``x`` lies below (or on) that of
+    ``y`` everywhere — i.e. ``x`` is at least as spread out as ``y``.
+
+    For equal-sum non-negative vectors this is equivalent to
+    ``majorizes(x, y)`` (checked by the property tests).
+    """
+    _, shares_x = lorenz_curve(x)
+    _, shares_y = lorenz_curve(y)
+    if shares_x.size != shares_y.size:
+        raise MajorizationError(
+            "cannot compare Lorenz curves of different sizes")
+    return bool(np.all(shares_x <= shares_y + tolerance))
+
+
+def t_transform(values: Sequence[float], donor: int, recipient: int,
+                fraction: float) -> np.ndarray:
+    """Apply a T-transform: move ``fraction`` of the gap between two
+    elements from the larger to the smaller ("Robin Hood" operation).
+
+    For ``0 < fraction <= 1/2`` (and distinct element values) the result
+    is strictly majorized by the input; repeated T-transforms reach every
+    vector majorized by the input (Hardy–Littlewood–Pólya).  ``fraction``
+    may range up to 1 (a full swap, which is majorization-equivalent).
+    """
+    data = _as_vector(values, "values").copy()
+    n = data.size
+    if not (0 <= donor < n and 0 <= recipient < n):
+        raise MajorizationError("donor/recipient indices out of range")
+    if donor == recipient:
+        raise MajorizationError("donor and recipient must differ")
+    if not (0.0 <= fraction <= 1.0):
+        raise MajorizationError("fraction must lie in [0, 1]")
+    if data[donor] < data[recipient]:
+        donor, recipient = recipient, donor
+    gap = data[donor] - data[recipient]
+    transfer = fraction * gap
+    data[donor] -= transfer
+    data[recipient] += transfer
+    return data
+
+
+def balanced_vector(n: int, total: float = 1.0) -> np.ndarray:
+    """The minimum of the majorization order: everything spread evenly."""
+    if n <= 0:
+        raise MajorizationError("need at least one element")
+    return np.full(n, total / n)
+
+
+def concentrated_vector(n: int, total: float = 1.0, index: int = 0) -> np.ndarray:
+    """The maximum of the majorization order: everything on one element."""
+    if n <= 0:
+        raise MajorizationError("need at least one element")
+    if not 0 <= index < n:
+        raise MajorizationError("index out of range")
+    data = np.zeros(n)
+    data[index] = total
+    return data
+
+
+def spread_order(datasets: Sequence[Sequence[float]],
+                 tolerance: float = DEFAULT_TOLERANCE) -> np.ndarray:
+    """Pairwise majorization relation over a family of data sets.
+
+    Returns a boolean matrix ``M`` with ``M[a, b]`` true when data set
+    ``a`` majorizes data set ``b``.  Because majorization is partial, the
+    matrix can leave pairs unordered in both directions — which is exactly
+    when the paper's indices of dispersion are needed to break ties.
+    """
+    vectors = [_as_vector(values, f"datasets[{index}]")
+               for index, values in enumerate(datasets)]
+    count = len(vectors)
+    matrix = np.zeros((count, count), dtype=bool)
+    for a in range(count):
+        for b in range(count):
+            if a != b and vectors[a].size == vectors[b].size:
+                matrix[a, b] = majorizes(vectors[a], vectors[b], tolerance)
+    return matrix

@@ -1,0 +1,132 @@
+"""The end-to-end top-down methodology (paper §2–§3).
+
+:class:`Methodology` drives the whole analysis a user would run on the
+measurements of a parallel program:
+
+1. coarse grain — wall clock breakdown, dominant activity, heaviest
+   region, per-activity extremes, clustering of regions;
+2. fine grain — the three dissimilarity views (processor, activity,
+   code region) with a chosen index of dispersion;
+3. ranking — candidates for tuning under a chosen criterion, combining a
+   large index of dispersion with a non-negligible share of program time.
+
+The result, :class:`AnalysisResult`, is a plain data object; rendering it
+as the paper's tables lives in :mod:`repro.core.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import ReproError
+from .breakdown import ProgramBreakdown, characterize
+from .clustering import cluster_regions
+from .measurements import MeasurementSet
+from .patterns import PatternGrid, pattern_grid
+from .ranking import RankingResult, rank
+from .views import (ActivityView, CodeRegionView, ProcessorView,
+                    compute_activity_and_region_views, compute_processor_view)
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Everything the methodology derives from one measurement set."""
+
+    measurements: MeasurementSet
+    breakdown: ProgramBreakdown
+    region_clusters: Tuple[Tuple[str, ...], ...]
+    processor_view: ProcessorView
+    activity_view: ActivityView
+    region_view: CodeRegionView
+    activity_ranking: RankingResult
+    region_ranking: RankingResult
+    patterns: Tuple[PatternGrid, ...]
+
+    @property
+    def tuning_candidates(self) -> Tuple[str, ...]:
+        """Regions combining imbalance with significant program time."""
+        return self.region_view.tuning_candidates()
+
+    def pattern(self, activity: str) -> PatternGrid:
+        """The band-pattern grid of one activity."""
+        for grid in self.patterns:
+            if grid.activity == activity:
+                return grid
+        raise ReproError(f"no pattern grid for activity {activity!r}")
+
+
+@dataclass(frozen=True)
+class Methodology:
+    """Configuration of the top-down analysis.
+
+    Parameters
+    ----------
+    index:
+        Index of dispersion for the activity/region views (default: the
+        paper's Euclidean distance).
+    weighting:
+        ``"time"`` for the paper's time-weighted averages, ``"uniform"``
+        for the ablation variant.
+    criterion / criterion_parameters:
+        Ranking criterion applied to the scaled indices
+        (``"maximum"``, ``"percentile"`` or ``"threshold"``).
+    cluster_count:
+        Number of region clusters for the coarse-grain grouping; ``None``
+        disables clustering (e.g. too few regions).
+    seed:
+        Seed for the clustering restarts.
+    """
+
+    index: str = "euclidean"
+    weighting: str = "time"
+    criterion: str = "maximum"
+    criterion_parameters: dict = field(default_factory=dict)
+    cluster_count: Optional[int] = 2
+    seed: int = 0
+
+    def analyze(self, measurements: MeasurementSet) -> AnalysisResult:
+        """Run the full methodology on one measurement set."""
+        breakdown = characterize(measurements)
+        if self.cluster_count and measurements.n_regions > self.cluster_count:
+            clusters = cluster_regions(measurements, self.cluster_count,
+                                       seed=self.seed)
+        else:
+            clusters = (tuple(measurements.regions),)
+        processor_view = compute_processor_view(measurements)
+        activity_view, region_view = compute_activity_and_region_views(
+            measurements, index=self.index, weighting=self.weighting)
+        activity_values = {
+            name: float(value) for name, value in
+            zip(measurements.activities, activity_view.scaled_index)
+        }
+        region_values = {
+            name: float(value) for name, value in
+            zip(measurements.regions, region_view.scaled_index)
+        }
+        activity_ranking = rank(activity_values, self.criterion,
+                                **self.criterion_parameters)
+        region_ranking = rank(region_values, self.criterion,
+                              **self.criterion_parameters)
+        patterns = tuple(
+            pattern_grid(measurements, activity)
+            for j, activity in enumerate(measurements.activities)
+            if measurements.performed[:, j].any()
+        )
+        return AnalysisResult(
+            measurements=measurements,
+            breakdown=breakdown,
+            region_clusters=clusters,
+            processor_view=processor_view,
+            activity_view=activity_view,
+            region_view=region_view,
+            activity_ranking=activity_ranking,
+            region_ranking=region_ranking,
+            patterns=patterns,
+        )
+
+
+def analyze(measurements: MeasurementSet, **options) -> AnalysisResult:
+    """One-call entry point: ``analyze(measurements)`` runs the paper's
+    methodology with its default choices."""
+    return Methodology(**options).analyze(measurements)

@@ -1,0 +1,140 @@
+"""Pattern classification behind the paper's Figures 1 and 2.
+
+The figures plot, for each loop, one cell per processor, colored by where
+the processor's wall clock time falls within the loop's range:
+
+* ``MAX``   — the largest time of the loop;
+* ``MIN``   — the smallest time;
+* ``UPPER`` — within the upper 15% interval of the range (excluding the
+  maximum itself);
+* ``LOWER`` — within the lower 15% interval (excluding the minimum);
+* ``MID``   — everything else (drawn blank in the paper).
+
+The paper reads the figures quantitatively in two places: on loop 4 the
+computation times of 5 of the 16 processors fall in the upper 15%
+interval, and on loop 6 the times of 11 of 16 processors fall in the
+lower 15% interval.  :func:`classify` reproduces that categorization;
+:func:`pattern_grid` applies it to a whole measurement set for one
+activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MeasurementError
+from .measurements import MeasurementSet
+
+
+class Band(Enum):
+    """Category of one processor's time within a loop's range."""
+
+    MAX = "max"
+    MIN = "min"
+    UPPER = "upper 15%"
+    LOWER = "lower 15%"
+    MID = "mid"
+
+
+#: Width of the upper/lower intervals as a fraction of the range.
+BAND_FRACTION = 0.15
+
+
+def classify(values: Sequence[float],
+             band_fraction: float = BAND_FRACTION) -> Tuple[Band, ...]:
+    """Classify each value of a data set into its band.
+
+    Ties for the extremes are all labelled ``MAX``/``MIN``.  A constant
+    data set is entirely ``MAX`` ties — by convention we report it as all
+    ``MID`` (a flat row in the figure: perfectly balanced).
+    """
+    data = np.asarray(values, dtype=float)
+    if data.ndim != 1 or data.size == 0:
+        raise MeasurementError("expected a non-empty 1-d data set")
+    if not np.all(np.isfinite(data)):
+        raise MeasurementError("data set contains non-finite values")
+    if not 0.0 < band_fraction < 0.5:
+        raise MeasurementError("band_fraction must lie in (0, 0.5)")
+    low = float(data.min())
+    high = float(data.max())
+    span = high - low
+    if span <= 0.0:
+        return tuple(Band.MID for _ in range(data.size))
+    upper_cut = high - band_fraction * span
+    lower_cut = low + band_fraction * span
+    bands = []
+    for value in data:
+        if value == high:
+            bands.append(Band.MAX)
+        elif value == low:
+            bands.append(Band.MIN)
+        elif value >= upper_cut:
+            bands.append(Band.UPPER)
+        elif value <= lower_cut:
+            bands.append(Band.LOWER)
+        else:
+            bands.append(Band.MID)
+    return tuple(bands)
+
+
+def band_counts(bands: Sequence[Band]) -> Dict[Band, int]:
+    """Histogram of band labels."""
+    counts = {band: 0 for band in Band}
+    for band in bands:
+        counts[band] += 1
+    return counts
+
+
+@dataclass(frozen=True)
+class PatternGrid:
+    """Band classification of one activity across regions and processors."""
+
+    activity: str
+    #: Regions that perform the activity, in measurement order.
+    regions: Tuple[str, ...]
+    #: One row of bands per listed region.
+    rows: Tuple[Tuple[Band, ...], ...]
+
+    def row(self, region: str) -> Tuple[Band, ...]:
+        """Band row of one region."""
+        try:
+            index = self.regions.index(region)
+        except ValueError:
+            raise MeasurementError(
+                f"region {region!r} does not perform {self.activity!r}") from None
+        return self.rows[index]
+
+    def count(self, region: str, band: Band) -> int:
+        """Number of processors of a region in the given band."""
+        return sum(1 for value in self.row(region) if value is band)
+
+    def balance_score(self) -> float:
+        """Fraction of cells in the MID band — a crude 'how flat does the
+        figure look' summary (1.0 = perfectly balanced everywhere)."""
+        total = sum(len(row) for row in self.rows)
+        mid = sum(1 for row in self.rows for value in row if value is Band.MID)
+        return mid / total if total else 1.0
+
+
+def pattern_grid(measurements: MeasurementSet, activity: str,
+                 band_fraction: float = BAND_FRACTION) -> PatternGrid:
+    """Classify the per-processor times of one activity, region by region.
+
+    Only regions that perform the activity appear — the paper's figures
+    omit the others.
+    """
+    j = measurements.activity_index(activity)
+    performed = measurements.performed[:, j]
+    regions = []
+    rows = []
+    for i, region in enumerate(measurements.regions):
+        if not performed[i]:
+            continue
+        regions.append(region)
+        rows.append(classify(measurements.times[i, j, :], band_fraction))
+    return PatternGrid(activity=activity, regions=tuple(regions),
+                       rows=tuple(rows))

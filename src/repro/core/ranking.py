@@ -1,0 +1,182 @@
+"""Ranking criteria for indices of dispersion (step 3 of the methodology).
+
+Once indices of dispersion have been computed, the paper selects the
+items worth attention with a *criterion*: the maximum of the indices, the
+percentiles of their distribution, or predefined thresholds.  This module
+implements the three criteria behind one interface so the choice can be
+varied (the criterion ablation benchmark does exactly that).
+
+Each criterion takes a mapping ``name -> index value`` (``nan`` entries
+are ignored) and returns a :class:`RankingResult` listing the selected
+items in decreasing order of severity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import RankingError
+
+
+@dataclass(frozen=True)
+class RankedItem:
+    """An item selected by a criterion, with its index of dispersion."""
+
+    name: str
+    value: float
+
+
+@dataclass(frozen=True)
+class RankingResult:
+    """Outcome of applying a ranking criterion."""
+
+    criterion: str
+    selected: Tuple[RankedItem, ...]
+    #: All items ordered by decreasing value (selected or not).
+    ordered: Tuple[RankedItem, ...]
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(item.name for item in self.selected)
+
+    def __len__(self) -> int:
+        return len(self.selected)
+
+
+def _ordered_items(values: Mapping[str, float]) -> Tuple[RankedItem, ...]:
+    items = [RankedItem(name, float(value)) for name, value in values.items()
+             if not math.isnan(float(value))]
+    if not items:
+        raise RankingError("no finite indices of dispersion to rank")
+    items.sort(key=lambda item: (-item.value, item.name))
+    return tuple(items)
+
+
+def rank_by_maximum(values: Mapping[str, float],
+                    count: int = 1) -> RankingResult:
+    """Select the ``count`` items with the largest indices."""
+    if count < 1:
+        raise RankingError("count must be at least 1")
+    ordered = _ordered_items(values)
+    return RankingResult("maximum", ordered[:count], ordered)
+
+
+def rank_by_percentile(values: Mapping[str, float],
+                       percentile: float = 75.0) -> RankingResult:
+    """Select the items whose index reaches the given percentile of the
+    distribution of indices."""
+    if not 0.0 < percentile < 100.0:
+        raise RankingError("percentile must lie strictly between 0 and 100")
+    ordered = _ordered_items(values)
+    cutoff = float(np.percentile([item.value for item in ordered], percentile))
+    selected = tuple(item for item in ordered if item.value >= cutoff)
+    return RankingResult(f"percentile({percentile:g})", selected, ordered)
+
+
+def rank_by_threshold(values: Mapping[str, float],
+                      threshold: float) -> RankingResult:
+    """Select the items whose index exceeds a predefined threshold."""
+    if math.isnan(threshold):
+        raise RankingError("threshold must be a number")
+    ordered = _ordered_items(values)
+    selected = tuple(item for item in ordered if item.value > threshold)
+    return RankingResult(f"threshold({threshold:g})", selected, ordered)
+
+
+def rank_by_elbow(values: Mapping[str, float]) -> RankingResult:
+    """Select everything above the largest gap in the sorted indices.
+
+    One of the "new criteria" the paper's conclusions call for: instead
+    of a fixed count or threshold, cut where the indices drop the most —
+    the natural separation between the outliers and the bulk.  With a
+    single item, it is selected.
+    """
+    ordered = _ordered_items(values)
+    if len(ordered) == 1:
+        return RankingResult("elbow", ordered, ordered)
+    gaps = [ordered[k].value - ordered[k + 1].value
+            for k in range(len(ordered) - 1)]
+    cut = max(range(len(gaps)), key=lambda k: gaps[k])
+    return RankingResult("elbow", ordered[:cut + 1], ordered)
+
+
+def rank_by_share(values: Mapping[str, float],
+                  share: float = 0.8) -> RankingResult:
+    """Select the smallest prefix of the ranking covering ``share`` of
+    the total index mass (a Pareto-style criterion).
+
+    Requires non-negative indices.
+    """
+    if not 0.0 < share <= 1.0:
+        raise RankingError("share must lie in (0, 1]")
+    ordered = _ordered_items(values)
+    if any(item.value < 0.0 for item in ordered):
+        raise RankingError("share criterion requires non-negative indices")
+    total = sum(item.value for item in ordered)
+    if total <= 0.0:
+        return RankingResult(f"share({share:g})", ordered, ordered)
+    accumulated = 0.0
+    selected = []
+    for item in ordered:
+        selected.append(item)
+        accumulated += item.value
+        if accumulated >= share * total - 1e-12:
+            break
+    return RankingResult(f"share({share:g})", tuple(selected), ordered)
+
+
+def rank(values: Mapping[str, float], criterion: str = "maximum",
+         **parameters) -> RankingResult:
+    """Dispatch to a ranking criterion by name.
+
+    ``criterion`` is one of ``"maximum"`` (parameter ``count``),
+    ``"percentile"`` (parameter ``percentile``), ``"threshold"``
+    (parameter ``threshold``), ``"elbow"`` (no parameters) or
+    ``"share"`` (parameter ``share``).
+    """
+    if criterion == "maximum":
+        return rank_by_maximum(values, **parameters)
+    if criterion == "percentile":
+        return rank_by_percentile(values, **parameters)
+    if criterion == "threshold":
+        return rank_by_threshold(values, **parameters)
+    if criterion == "elbow":
+        return rank_by_elbow(values, **parameters)
+    if criterion == "share":
+        return rank_by_share(values, **parameters)
+    raise RankingError(
+        f"unknown criterion {criterion!r}; expected 'maximum', "
+        "'percentile', 'threshold', 'elbow' or 'share'")
+
+
+def agreement(first: RankingResult, second: RankingResult) -> float:
+    """Jaccard agreement between the selections of two criteria.
+
+    Used by the ablation benchmarks to quantify how sensitive the
+    methodology's conclusions are to the criterion choice.
+    """
+    set_first = set(first.names)
+    set_second = set(second.names)
+    union = set_first | set_second
+    if not union:
+        return 1.0
+    return len(set_first & set_second) / len(union)
+
+
+def kendall_distance(first: Sequence[str], second: Sequence[str]) -> int:
+    """Number of pairwise order inversions between two rankings of the
+    same items (Kendall tau distance)."""
+    if set(first) != set(second):
+        raise RankingError("rankings must cover the same items")
+    position: Dict[str, int] = {name: k for k, name in enumerate(second)}
+    inversions = 0
+    names = list(first)
+    for a in range(len(names)):
+        for b in range(a + 1, len(names)):
+            if position[names[a]] > position[names[b]]:
+                inversions += 1
+    return inversions

@@ -1,0 +1,150 @@
+"""Text rendering of analysis results as the paper prints them.
+
+The functions here turn a :class:`~repro.core.methodology.AnalysisResult`
+(or its parts) into aligned plain-text tables matching the paper's
+Tables 1–4, plus a narrative summary.  Number formatting follows the
+paper: times with two decimals (more where the paper keeps three),
+indices of dispersion with five decimals, dashes for activities a region
+does not perform.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .measurements import MeasurementSet
+from .methodology import AnalysisResult
+from .views import ActivityView, CodeRegionView
+from ..viz.tables import format_table
+
+_DASH = "-"
+
+
+def _format_time(value: float) -> str:
+    """Format a wall clock time like the paper: enough decimals to be
+    faithful, no trailing noise."""
+    if value == 0.0:
+        return _DASH
+    text = f"{value:.3f}"
+    if text.endswith("0"):
+        text = f"{value:.2f}"
+    return text
+
+
+def _format_index(value: float) -> str:
+    if np.isnan(value):
+        return _DASH
+    return f"{value:.5f}"
+
+
+def render_breakdown_table(measurements: MeasurementSet) -> str:
+    """Table 1: wall clock time of each region with its activity breakdown."""
+    t_ij = measurements.region_activity_times
+    t_i = measurements.region_times
+    header = ["region", "overall"] + list(measurements.activities)
+    rows: List[List[str]] = []
+    for i, region in enumerate(measurements.regions):
+        row = [region, _format_time(float(t_i[i]))]
+        row += [_format_time(float(t_ij[i, j]))
+                for j in range(measurements.n_activities)]
+        rows.append(row)
+    return format_table(header, rows, title="Wall clock time (s) per region "
+                                            "and activity")
+
+
+def render_dispersion_table(view: ActivityView) -> str:
+    """Table 2: indices of dispersion ``ID_ij``."""
+    measurements = view.measurements
+    header = ["region"] + list(measurements.activities)
+    rows = []
+    for i, region in enumerate(measurements.regions):
+        rows.append([region] + [_format_index(float(view.dispersion[i, j]))
+                                for j in range(measurements.n_activities)])
+    return format_table(header, rows, title="Indices of dispersion ID_ij")
+
+
+def render_activity_view_table(view: ActivityView) -> str:
+    """Table 3: ``ID_A`` and ``SID_A`` per activity."""
+    header = ["activity", "ID_A", "SID_A"]
+    rows = [
+        [activity, _format_index(float(view.index[j])),
+         _format_index(float(view.scaled_index[j]))]
+        for j, activity in enumerate(view.activities)
+    ]
+    return format_table(header, rows, title="Activity view summary")
+
+
+def render_region_view_table(view: CodeRegionView) -> str:
+    """Table 4: ``ID_C`` and ``SID_C`` per region."""
+    header = ["region", "ID_C", "SID_C"]
+    rows = [
+        [region, _format_index(float(view.index[i])),
+         _format_index(float(view.scaled_index[i]))]
+        for i, region in enumerate(view.regions)
+    ]
+    return format_table(header, rows, title="Code region view summary")
+
+
+def render_processor_view_table(result: AnalysisResult) -> str:
+    """Per-region processor-view table: the most imbalanced processor
+    of each region with its ``ID_P`` and own wall clock time."""
+    view = result.processor_view
+    measurements = result.measurements
+    own_times = measurements.processor_region_times()
+    header = ["region", "most imbalanced", "ID_P", "own time (s)"]
+    rows = []
+    for i, region in enumerate(measurements.regions):
+        winner = view.most_imbalanced_processor(region)
+        rows.append([
+            region,
+            f"processor {winner + 1}",
+            _format_index(float(view.dispersion[i, winner])),
+            _format_time(float(own_times[i, winner])),
+        ])
+    return format_table(header, rows, title="Processor view")
+
+
+def render_summary(result: AnalysisResult) -> str:
+    """Narrative summary mirroring the paper's §4 discussion."""
+    measurements = result.measurements
+    breakdown = result.breakdown
+    processor_summary = result.processor_view.summary()
+    lines = [
+        "Top-down analysis summary",
+        "=" * 25,
+        f"program wall clock T = {measurements.total_time:.3f} s "
+        f"({measurements.coverage:.1%} covered by {measurements.n_regions} "
+        f"regions, P = {measurements.n_processors} processors)",
+        f"dominant activity: {breakdown.dominant_activity}",
+        f"heaviest region: {breakdown.heaviest_region} "
+        f"({breakdown.heaviest_region_share:.1%} of T)",
+        f"region clusters: " + "; ".join(
+            "{" + ", ".join(group) + "}" for group in result.region_clusters),
+        f"most frequently imbalanced processor: "
+        f"processor {processor_summary.most_frequent + 1} "
+        f"(tops {processor_summary.most_frequent_count} regions)",
+        f"processor imbalanced for the longest time: "
+        f"processor {processor_summary.longest + 1} "
+        f"({processor_summary.longest_time:.2f} s)",
+        f"most imbalanced activity: "
+        f"{result.activity_view.most_imbalanced()} "
+        f"(scaled: {result.activity_view.most_imbalanced(scaled=True)})",
+        f"most imbalanced region: {result.region_view.most_imbalanced()} "
+        f"(scaled: {result.region_view.most_imbalanced(scaled=True)})",
+        f"tuning candidates: " + (", ".join(result.tuning_candidates) or "none"),
+    ]
+    return "\n".join(lines)
+
+
+def render_full_report(result: AnalysisResult) -> str:
+    """Everything: the four tables followed by the narrative summary."""
+    parts = [
+        render_breakdown_table(result.measurements),
+        render_dispersion_table(result.activity_view),
+        render_activity_view_table(result.activity_view),
+        render_region_view_table(result.region_view),
+        render_summary(result),
+    ]
+    return "\n\n".join(parts)

@@ -1,0 +1,91 @@
+"""Standardization of wall clock times (step 1 of the methodology).
+
+The indices of dispersion must measure *relative* spread, so the paper
+first standardizes each data set by dividing every element by the sum of
+the data set — the standardized values sum to one and the perfectly
+balanced condition becomes the uniform vector ``1/n``.
+
+Two standardizations of the measurement tensor are used:
+
+* :func:`standardize_over_processors` — for the activity and code-region
+  views: each ``(region, activity)`` slice is divided by its sum across
+  processors.
+* :func:`standardize_over_activities` — for the processor view: each
+  ``(region, processor)`` slice is divided by the total time that
+  processor spent in the region.
+
+Both leave not-performed slices (all zeros) as zeros rather than raising,
+because the paper's data legitimately contains regions that skip some
+activities; :func:`standardize` on a single vector is stricter.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import StandardizationError
+from .measurements import MeasurementSet
+
+
+def standardize(values: Sequence[float]) -> np.ndarray:
+    """Standardize a single data set so that its elements sum to one.
+
+    Raises :class:`StandardizationError` for empty, negative, non-finite
+    or all-zero input — a data set with no time in it has no relative
+    spread to speak of.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.ndim != 1:
+        raise StandardizationError(f"expected a 1-d data set, got shape {data.shape}")
+    if data.size == 0:
+        raise StandardizationError("cannot standardize an empty data set")
+    if not np.all(np.isfinite(data)):
+        raise StandardizationError("data set contains non-finite values")
+    if np.any(data < 0.0):
+        raise StandardizationError("data set contains negative values")
+    total = data.sum()
+    if total <= 0.0:
+        raise StandardizationError("data set sums to zero; nothing to standardize")
+    return data / total
+
+
+def balanced_point(n: int) -> np.ndarray:
+    """The standardized vector of a perfectly balanced data set: ``1/n``."""
+    if n <= 0:
+        raise StandardizationError("need at least one element")
+    return np.full(n, 1.0 / n)
+
+
+def _standardize_along(tensor: np.ndarray, axis: int) -> np.ndarray:
+    sums = tensor.sum(axis=axis, keepdims=True)
+    safe = np.where(sums > 0.0, sums, 1.0)
+    return np.where(sums > 0.0, tensor / safe, 0.0)
+
+
+def standardize_over_processors(measurements: MeasurementSet) -> np.ndarray:
+    """Standardize ``t_ijp`` across processors.
+
+    Returns an (N, K, P) array where each performed ``(i, j)`` slice sums
+    to one over *p*; not-performed slices are all zeros.
+    """
+    return _standardize_along(measurements.times, axis=2)
+
+
+def standardize_over_activities(measurements: MeasurementSet) -> np.ndarray:
+    """Standardize ``t_ijp`` across the activities of each processor.
+
+    Returns an (N, K, P) array where, for each region *i* and processor
+    *p* with any recorded time, the slice over *j* sums to one.
+    """
+    return _standardize_along(measurements.times, axis=1)
+
+
+def standardize_region_profiles(measurements: MeasurementSet) -> np.ndarray:
+    """Standardize the per-region activity breakdown ``t_ij`` over *j*.
+
+    Returns an (N, K) array of activity fractions per region — the
+    representation the paper clusters.
+    """
+    return _standardize_along(measurements.region_activity_times, axis=1)

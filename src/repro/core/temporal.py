@@ -1,0 +1,128 @@
+"""Temporal analysis: how imbalance evolves over a run.
+
+The paper analyzes one post-mortem profile; its future-work section
+calls for new criteria and broader program coverage.  Dynamic imbalance
+— load that *drifts* as the computation evolves (adaptive meshes,
+particle migration) — is invisible in a single profile, so this module
+extends the methodology along time: given a sequence of per-window
+measurement sets (from :func:`repro.instrument.window_profiles`), it
+
+* tracks each region's index of dispersion across windows,
+* fits a linear trend (least squares) per region,
+* flags *drifting* regions — significant positive slope — which a
+  one-shot analysis would underestimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MeasurementError
+from .views import compute_region_view
+
+
+@dataclass(frozen=True)
+class RegionTrend:
+    """Evolution of one region's imbalance across windows."""
+
+    region: str
+    #: Index of dispersion ``ID_C`` per window (nan where idle).
+    series: Tuple[float, ...]
+    #: Least-squares slope per unit of window index.
+    slope: float
+    #: Mean of the series (ignoring nan windows).
+    mean: float
+
+    @property
+    def final(self) -> float:
+        """Last finite value of the series."""
+        finite = [value for value in self.series if not np.isnan(value)]
+        return finite[-1] if finite else float("nan")
+
+    @property
+    def amplification(self) -> float:
+        """final / first-finite (how much the imbalance grew)."""
+        finite = [value for value in self.series if not np.isnan(value)]
+        if len(finite) < 2 or finite[0] <= 0.0:
+            return 1.0
+        return finite[-1] / finite[0]
+
+
+@dataclass(frozen=True)
+class TemporalAnalysis:
+    """Trends of every region over the windows."""
+
+    trends: Tuple[RegionTrend, ...]
+    n_windows: int
+
+    def trend(self, region: str) -> RegionTrend:
+        for candidate in self.trends:
+            if candidate.region == region:
+                return candidate
+        raise MeasurementError(f"unknown region {region!r}")
+
+    def drifting_regions(self, slope_threshold: float = 0.0,
+                         amplification_threshold: float = 1.5
+                         ) -> Tuple[str, ...]:
+        """Regions whose imbalance grows: positive slope beyond the
+        threshold *and* amplified by the given factor end to end."""
+        return tuple(
+            trend.region for trend in self.trends
+            if trend.slope > slope_threshold
+            and trend.amplification >= amplification_threshold)
+
+    def stationary_regions(self, slope_tolerance: float = 1e-3
+                           ) -> Tuple[str, ...]:
+        """Regions whose imbalance stays flat."""
+        return tuple(trend.region for trend in self.trends
+                     if abs(trend.slope) <= slope_tolerance)
+
+
+def _fit_slope(series: np.ndarray) -> float:
+    mask = ~np.isnan(series)
+    if mask.sum() < 2:
+        return 0.0
+    x = np.arange(series.size)[mask]
+    y = series[mask]
+    return float(np.polyfit(x, y, 1)[0])
+
+
+def temporal_analysis(windows: Sequence, index: str = "euclidean"
+                      ) -> TemporalAnalysis:
+    """Analyze a sequence of windows (or bare measurement sets).
+
+    Accepts :class:`repro.instrument.windows.Window` objects or plain
+    :class:`~repro.core.measurements.MeasurementSet` instances; all must
+    share region names.
+    """
+    if not windows:
+        raise MeasurementError("need at least one window")
+    measurement_sets = [getattr(window, "measurements", window)
+                        for window in windows]
+    regions = measurement_sets[0].regions
+    for ms in measurement_sets[1:]:
+        if ms.regions != regions:
+            raise MeasurementError(
+                "all windows must share the same region names")
+
+    series: Dict[str, list] = {region: [] for region in regions}
+    for ms in measurement_sets:
+        view = compute_region_view(ms, index=index)
+        for i, region in enumerate(regions):
+            series[region].append(float(view.index[i]))
+
+    trends = []
+    for region in regions:
+        values = np.array(series[region])
+        finite = values[~np.isnan(values)]
+        trends.append(RegionTrend(
+            region=region,
+            series=tuple(values.tolist()),
+            slope=_fit_slope(values),
+            mean=float(finite.mean()) if finite.size else float("nan"),
+        ))
+    return TemporalAnalysis(trends=tuple(trends),
+                            n_windows=len(measurement_sets))

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class MeasurementError(ReproError):
+    """A measurement tensor is malformed or inconsistent with its labels."""
+
+
+class StandardizationError(ReproError):
+    """A data set cannot be standardized (e.g. it sums to zero)."""
+
+
+class DispersionError(ReproError):
+    """An index of dispersion is undefined for the given data set."""
+
+
+class MajorizationError(ReproError):
+    """Vectors cannot be compared under the majorization preorder."""
+
+
+class ClusteringError(ReproError):
+    """Clustering was asked for an impossible configuration."""
+
+
+class RankingError(ReproError):
+    """A ranking criterion received invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event MPI simulator reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """Every live simulated rank is blocked and no event can make progress."""
+
+
+class CommunicatorError(SimulationError):
+    """Misuse of the simulated communicator API (bad rank, tag, size...)."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed, out of order, or cannot be parsed."""
+
+
+class CalibrationError(ReproError):
+    """The paper-data reconstruction failed to satisfy its constraints."""
+
+
+class WorkloadError(ReproError):
+    """A workload/application was configured with invalid parameters."""

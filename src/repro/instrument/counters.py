@@ -1,0 +1,98 @@
+"""Counting parameters: the methodology on counters instead of timings.
+
+Paper §2: "The performance of a parallel program is characterized by
+timings parameters, such as, wall clock times, as well as counting
+parameters, such as, number of I/O operations, number of bytes
+read/written, number of memory accesses, number of cache misses.  Note
+that, not to clutter the presentation, in what follows we focus on
+timings parameters."
+
+This module un-clutters that restriction: it aggregates a trace into
+*counter* tensors — messages exchanged or bytes moved per (region,
+activity, processor) — packaged as a :class:`MeasurementSet` so the
+whole dissimilarity machinery (standardization, indices of dispersion,
+views, ranking) applies verbatim.  A program that is time-balanced but
+communication-skewed shows up here and nowhere else.
+
+Counters use the ``sum`` aggregation (the total message count of a
+region is the sum over processors, not the maximum).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.measurements import DEFAULT_ACTIVITIES, MeasurementSet
+from ..errors import TraceError
+from .events import OUTSIDE_REGION
+from .tracer import Tracer
+
+#: Counters that can be extracted from a trace.
+COUNTERS = ("messages", "bytes", "events")
+
+#: Event kinds that represent an initiated message (receives and waits
+#: would double-count the same message).
+_MESSAGE_KINDS = ("send",)
+
+
+def count_profile(tracer: Tracer, counter: str = "messages",
+                  regions: Optional[Sequence[str]] = None,
+                  activities: Optional[Sequence[str]] = None) -> MeasurementSet:
+    """Aggregate a trace into a counter tensor.
+
+    ``counter`` selects what is counted per (region, activity, rank):
+
+    * ``"messages"`` — messages *sent* (attributed to the sender);
+    * ``"bytes"``    — payload bytes sent;
+    * ``"events"``   — all trace events (a proxy for operation counts).
+
+    Returns a :class:`MeasurementSet` whose "times" are counts (the
+    dissimilarity analysis is unit-agnostic).  Regions with no counted
+    events yield all-zero rows.
+    """
+    if counter not in COUNTERS:
+        raise TraceError(f"counter must be one of {COUNTERS}, "
+                         f"got {counter!r}")
+    if len(tracer) == 0:
+        raise TraceError("cannot count an empty trace")
+    region_names = tuple(regions) if regions is not None else tracer.regions()
+    if not region_names:
+        raise TraceError("trace contains no annotated regions")
+    if activities is not None:
+        activity_names = tuple(activities)
+    else:
+        seen = tracer.activities()
+        activity_names = tuple(
+            [name for name in DEFAULT_ACTIVITIES if name in seen] +
+            [name for name in seen if name not in DEFAULT_ACTIVITIES])
+    region_index = {name: i for i, name in enumerate(region_names)}
+    activity_index = {name: j for j, name in enumerate(activity_names)}
+
+    tensor = np.zeros((len(region_names), len(activity_names),
+                       tracer.n_ranks))
+    for event in tracer.events:
+        if event.region == OUTSIDE_REGION:
+            continue
+        i = region_index.get(event.region)
+        if i is None:
+            if regions is None:
+                raise TraceError(
+                    f"internal error: unindexed region {event.region!r}")
+            continue
+        j = activity_index.get(event.activity)
+        if j is None:
+            raise TraceError(
+                f"trace contains activity {event.activity!r} not in "
+                f"{activity_names}")
+        if counter == "events":
+            tensor[i, j, event.rank] += 1
+        elif event.kind in _MESSAGE_KINDS:
+            tensor[i, j, event.rank] += \
+                1 if counter == "messages" else event.nbytes
+    if tensor.sum() <= 0.0:
+        raise TraceError(f"trace contains nothing to count for "
+                         f"counter {counter!r}")
+    return MeasurementSet(tensor, regions=region_names,
+                          activities=activity_names, aggregation="sum")

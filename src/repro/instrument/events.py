@@ -1,0 +1,56 @@
+"""Trace event model.
+
+A trace is a sequence of :class:`TraceEvent` records, one per interval
+during which a rank's clock advanced: a computation burst, a send, a
+receive, or a wait.  Events carry the instrumentation context captured
+when the operation was posted — the code region and the activity class —
+which is all the profile aggregation needs to build the paper's
+``t_ijp`` tensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TraceError
+
+#: Region recorded for time spent outside any annotated region.
+OUTSIDE_REGION = "(outside regions)"
+
+#: Event kinds emitted by the simulator engine.
+EVENT_KINDS = ("compute", "send", "recv", "wait")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One interval of one rank's execution."""
+
+    rank: int
+    region: str
+    activity: str
+    begin: float
+    end: float
+    kind: str = "compute"
+    nbytes: int = 0
+    partner: int = -1
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise TraceError("rank must be non-negative")
+        if self.end < self.begin:
+            raise TraceError(
+                f"event ends before it begins ({self.begin} > {self.end})")
+        if self.kind not in EVENT_KINDS:
+            raise TraceError(f"unknown event kind {self.kind!r}")
+        if not self.activity:
+            raise TraceError("activity must be non-empty")
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end - self.begin
+
+    def with_region(self, region: str) -> "TraceEvent":
+        """Copy of this event relabelled with another region."""
+        return TraceEvent(self.rank, region, self.activity, self.begin,
+                          self.end, self.kind, self.nbytes, self.partner)

@@ -1,0 +1,123 @@
+"""Trace manipulation utilities: filter, merge, shift, relabel.
+
+Post-mortem workflows routinely slice and combine traces — keep one
+phase, drop a warm-up, merge per-run traces into one corpus, rename a
+region after a refactor.  These helpers operate on
+:class:`~repro.instrument.tracer.Tracer` objects and always return new
+tracers (the inputs are never mutated).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..errors import TraceError
+from .events import TraceEvent
+from .tracer import Tracer
+
+EventPredicate = Callable[[TraceEvent], bool]
+
+
+def filter_events(tracer: Tracer, predicate: EventPredicate) -> Tracer:
+    """A new tracer containing the events satisfying ``predicate``."""
+    result = Tracer()
+    result.extend(event for event in tracer.events if predicate(event))
+    return result
+
+
+def filter_regions(tracer: Tracer, regions: Sequence[str]) -> Tracer:
+    """Keep only the given regions."""
+    wanted = set(regions)
+    return filter_events(tracer, lambda event: event.region in wanted)
+
+
+def filter_activities(tracer: Tracer, activities: Sequence[str]) -> Tracer:
+    """Keep only the given activities."""
+    wanted = set(activities)
+    return filter_events(tracer, lambda event: event.activity in wanted)
+
+
+def filter_ranks(tracer: Tracer, ranks: Sequence[int]) -> Tracer:
+    """Keep only the given ranks (event rank ids are preserved)."""
+    wanted = set(ranks)
+    return filter_events(tracer, lambda event: event.rank in wanted)
+
+
+def filter_time(tracer: Tracer, begin: float, end: float,
+                clip: bool = True) -> Tracer:
+    """Keep the events overlapping ``[begin, end)``.
+
+    With ``clip`` (default) boundary events are trimmed to the window;
+    otherwise they are kept whole.
+    """
+    if end <= begin:
+        raise TraceError("time window must have positive length")
+    result = Tracer()
+    for event in tracer.events:
+        clipped_begin = max(event.begin, begin)
+        clipped_end = min(event.end, end)
+        if clipped_end <= clipped_begin:
+            continue
+        if clip:
+            result.add(TraceEvent(
+                rank=event.rank, region=event.region,
+                activity=event.activity, begin=clipped_begin,
+                end=clipped_end, kind=event.kind, nbytes=event.nbytes,
+                partner=event.partner))
+        else:
+            result.add(event)
+    return result
+
+
+def shift_time(tracer: Tracer, offset: float) -> Tracer:
+    """Translate every event by ``offset`` seconds (must stay >= 0)."""
+    result = Tracer()
+    for event in tracer.events:
+        if event.begin + offset < 0.0:
+            raise TraceError("shift would move an event before time zero")
+        result.add(TraceEvent(
+            rank=event.rank, region=event.region, activity=event.activity,
+            begin=event.begin + offset, end=event.end + offset,
+            kind=event.kind, nbytes=event.nbytes, partner=event.partner))
+    return result
+
+
+def relabel_region(tracer: Tracer, old: str, new: str) -> Tracer:
+    """Rename a region throughout the trace."""
+    if not new:
+        raise TraceError("new region name must be non-empty")
+    result = Tracer()
+    for event in tracer.events:
+        result.add(event.with_region(new) if event.region == old
+                   else event)
+    return result
+
+
+def merge(tracers: Iterable[Tracer],
+          rank_offsets: Optional[Sequence[int]] = None) -> Tracer:
+    """Combine several traces into one.
+
+    Without ``rank_offsets`` the rank ids are kept as-is (events of the
+    same rank interleave — merging windows of one run).  With offsets,
+    trace ``k``'s ranks are shifted by ``rank_offsets[k]`` — merging
+    *different* runs into a disjoint rank space.
+    """
+    tracer_list = list(tracers)
+    if rank_offsets is not None and len(rank_offsets) != len(tracer_list):
+        raise TraceError("need one rank offset per tracer")
+    result = Tracer()
+    for index, tracer in enumerate(tracer_list):
+        offset = rank_offsets[index] if rank_offsets is not None else 0
+        if offset < 0:
+            raise TraceError("rank offsets must be non-negative")
+        for event in tracer.events:
+            if offset:
+                result.add(TraceEvent(
+                    rank=event.rank + offset, region=event.region,
+                    activity=event.activity, begin=event.begin,
+                    end=event.end, kind=event.kind, nbytes=event.nbytes,
+                    partner=event.partner + offset
+                    if event.partner >= 0 else -1))
+            else:
+                result.add(event)
+    return result

@@ -1,0 +1,110 @@
+"""Trace linting: structural consistency checks before analysis.
+
+Real tracefiles arrive broken in predictable ways — clock skew creates
+overlapping intervals, filters orphan one side of a message, a crashed
+rank truncates its stream.  Profiles built from such traces are silently
+wrong, so :func:`lint_trace` checks the invariants our own simulator
+guarantees and reports violations:
+
+* ``overlap``          — two events of one rank overlap in time;
+* ``unmatched-send``   — a send whose (src, dst, bytes) has no receive
+  counterpart anywhere in the trace;
+* ``unmatched-recv``   — the reverse;
+* ``negative-time``    — an event starting before time zero;
+* ``empty-rank``       — a rank id below the maximum with no events at
+  all (a hole in the rank space).
+
+Matching is by census, not by pairing: for every (source, destination,
+nbytes) the number of sends must equal the number of receives, where a
+receive is a ``recv`` event or a ``wait`` event stamped with a message
+(nonblocking receives complete inside their wait).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .tracer import Tracer
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One violated invariant."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}: {self.detail}"
+
+
+def _check_overlaps(tracer: Tracer, issues: List[LintIssue]) -> None:
+    for rank in range(tracer.n_ranks):
+        events = sorted(tracer.events_of(rank),
+                        key=lambda event: (event.begin, event.end))
+        previous_end = 0.0
+        previous = None
+        for event in events:
+            if event.begin < previous_end - 1e-12 and previous is not None:
+                issues.append(LintIssue(
+                    "overlap",
+                    f"rank {rank}: [{previous.begin:.6g}, "
+                    f"{previous.end:.6g}] overlaps "
+                    f"[{event.begin:.6g}, {event.end:.6g}]"))
+            previous_end = max(previous_end, event.end)
+            previous = event
+
+
+def _check_message_census(tracer: Tracer,
+                          issues: List[LintIssue]) -> None:
+    sends: Dict[Tuple[int, int, int], int] = {}
+    recvs: Dict[Tuple[int, int, int], int] = {}
+    for event in tracer.events:
+        if event.partner < 0:
+            continue
+        if event.kind == "send":
+            key = (event.rank, event.partner, event.nbytes)
+            sends[key] = sends.get(key, 0) + 1
+        elif event.kind in ("recv", "wait"):
+            # Nonblocking receives complete inside wait events, which
+            # the engine stamps with the resolved message.
+            key = (event.partner, event.rank, event.nbytes)
+            recvs[key] = recvs.get(key, 0) + 1
+    for key, count in sends.items():
+        missing = count - recvs.get(key, 0)
+        if missing > 0:
+            source, destination, nbytes = key
+            issues.append(LintIssue(
+                "unmatched-send",
+                f"{missing} send(s) {source} -> {destination} "
+                f"({nbytes} B) without a receive"))
+    for key, count in recvs.items():
+        missing = count - sends.get(key, 0)
+        if missing > 0:
+            source, destination, nbytes = key
+            issues.append(LintIssue(
+                "unmatched-recv",
+                f"{missing} receive(s) {source} -> {destination} "
+                f"({nbytes} B) without a send"))
+
+
+def lint_trace(tracer: Tracer) -> Tuple[LintIssue, ...]:
+    """Check a trace's structural invariants; returns the violations
+    (empty tuple = clean)."""
+    issues: List[LintIssue] = []
+    if len(tracer) == 0:
+        return ()
+    for event in tracer.events:
+        if event.begin < 0.0:
+            issues.append(LintIssue(
+                "negative-time",
+                f"rank {event.rank} event begins at {event.begin}"))
+    seen_ranks = {event.rank for event in tracer.events}
+    for rank in range(tracer.n_ranks):
+        if rank not in seen_ranks:
+            issues.append(LintIssue(
+                "empty-rank", f"rank {rank} has no events"))
+    _check_overlaps(tracer, issues)
+    _check_message_census(tracer, issues)
+    return tuple(issues)

@@ -1,0 +1,80 @@
+"""Per-rank utilization summaries of a trace.
+
+Complements the tensor view with the question operators ask first: *how
+busy was each processor, doing what?*  For each rank, the share of its
+traced span spent in each activity plus the untraced remainder (idle).
+
+The numbers are per-rank-relative (each row sums to 1), so a rank that
+finished early and idled shows a large idle share even if its busy time
+matches the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import TraceError
+from .tracer import Tracer
+
+
+@dataclass(frozen=True)
+class RankUtilization:
+    """One rank's activity shares over the program span."""
+
+    rank: int
+    #: Activity name -> fraction of the program span.
+    shares: Dict[str, float]
+    #: Fraction of the span not covered by any event.
+    idle: float
+
+    @property
+    def busy(self) -> float:
+        return 1.0 - self.idle
+
+
+def utilization(tracer: Tracer) -> Tuple[RankUtilization, ...]:
+    """Per-rank activity shares over the whole traced span.
+
+    The span is the global trace end (the program wall clock), so ranks
+    that finish early accrue idle share for the remainder.
+    """
+    if len(tracer) == 0:
+        raise TraceError("cannot summarize an empty trace")
+    span = tracer.elapsed
+    if span <= 0.0:
+        raise TraceError("trace spans no time")
+    totals: Dict[int, Dict[str, float]] = {}
+    for event in tracer.events:
+        rank_totals = totals.setdefault(event.rank, {})
+        rank_totals[event.activity] = \
+            rank_totals.get(event.activity, 0.0) + event.duration
+    summaries = []
+    for rank in range(tracer.n_ranks):
+        rank_totals = totals.get(rank, {})
+        busy = sum(rank_totals.values())
+        shares = {activity: value / span
+                  for activity, value in sorted(rank_totals.items())}
+        summaries.append(RankUtilization(
+            rank=rank, shares=shares,
+            idle=max(0.0, 1.0 - busy / span)))
+    return tuple(summaries)
+
+
+def render_utilization(tracer: Tracer) -> str:
+    """Aligned table of the per-rank utilization."""
+    from ..viz.tables import format_table
+    summaries = utilization(tracer)
+    activities = sorted({activity for summary in summaries
+                         for activity in summary.shares})
+    header = ["rank"] + activities + ["idle"]
+    rows = []
+    for summary in summaries:
+        row = [str(summary.rank)]
+        row += [f"{summary.shares.get(activity, 0.0):.1%}"
+                for activity in activities]
+        row.append(f"{summary.idle:.1%}")
+        rows.append(row)
+    return format_table(header, rows,
+                        title="Per-rank utilization (share of program "
+                              "span)")

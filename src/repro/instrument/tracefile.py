@@ -1,0 +1,109 @@
+"""Trace file format: newline-delimited JSON with a header record.
+
+Post-mortem analysis needs traces on disk.  The format is deliberately
+simple and self-describing:
+
+* line 1 — header object: ``{"format": "repro-trace", "version": 1,
+  "ranks": N, "events": M}``;
+* lines 2..M+1 — one event object per line with keys ``r`` (rank),
+  ``g`` (region), ``a`` (activity), ``b`` (begin), ``e`` (end),
+  ``k`` (kind), ``n`` (nbytes), ``p`` (partner).
+
+Files ending in ``.gz`` are transparently gzip-compressed.  Reading
+validates the header and every event, so a corrupt or truncated file
+fails loudly instead of yielding a silently wrong profile.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..errors import TraceError
+from .events import TraceEvent
+from .tracer import Tracer
+
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _open(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def write_trace(path: PathLike, events: Iterable[TraceEvent]) -> int:
+    """Write events to ``path``; returns the number written."""
+    event_list = list(events)
+    ranks = max((event.rank for event in event_list), default=-1) + 1
+    target = Path(path)
+    with _open(target, "w") as stream:
+        header = {"format": FORMAT_NAME, "version": FORMAT_VERSION,
+                  "ranks": ranks, "events": len(event_list)}
+        stream.write(json.dumps(header) + "\n")
+        for event in event_list:
+            record = {"r": event.rank, "g": event.region, "a": event.activity,
+                      "b": event.begin, "e": event.end, "k": event.kind,
+                      "n": event.nbytes, "p": event.partner}
+            stream.write(json.dumps(record) + "\n")
+    return len(event_list)
+
+
+def write_tracer(path: PathLike, tracer: Tracer) -> int:
+    """Write everything a tracer recorded."""
+    return write_trace(path, tracer.events)
+
+
+def read_trace(path: PathLike) -> List[TraceEvent]:
+    """Read a trace file back into a list of events."""
+    source = Path(path)
+    if not source.exists():
+        raise TraceError(f"trace file {source} does not exist")
+    with _open(source, "r") as stream:
+        header_line = stream.readline()
+        if not header_line:
+            raise TraceError(f"trace file {source} is empty")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as error:
+            raise TraceError(f"bad trace header: {error}") from error
+        if header.get("format") != FORMAT_NAME:
+            raise TraceError(
+                f"not a {FORMAT_NAME} file (format={header.get('format')!r})")
+        if header.get("version") != FORMAT_VERSION:
+            raise TraceError(
+                f"unsupported trace version {header.get('version')!r}")
+        expected = header.get("events")
+        events: List[TraceEvent] = []
+        for line_number, line in enumerate(stream, start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                event = TraceEvent(
+                    rank=int(record["r"]), region=str(record["g"]),
+                    activity=str(record["a"]), begin=float(record["b"]),
+                    end=float(record["e"]), kind=str(record["k"]),
+                    nbytes=int(record["n"]), partner=int(record["p"]))
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError) as error:
+                raise TraceError(
+                    f"bad event at {source}:{line_number}: {error}") from error
+            events.append(event)
+    if expected is not None and expected != len(events):
+        raise TraceError(
+            f"trace {source} truncated: header promises {expected} events, "
+            f"found {len(events)}")
+    return events
+
+
+def read_tracer(path: PathLike) -> Tracer:
+    """Read a trace file into a fresh :class:`Tracer`."""
+    tracer = Tracer()
+    tracer.extend(read_trace(path))
+    return tracer

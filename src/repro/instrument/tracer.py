@@ -1,0 +1,106 @@
+"""In-memory trace recorder.
+
+:class:`Tracer` plugs into the simulator as its trace sink and collects
+:class:`~repro.instrument.events.TraceEvent` records.  It is the bridge
+between execution and analysis:
+
+.. code-block:: python
+
+    tracer = Tracer()
+    Simulator(16, trace_sink=tracer.record).run(program)
+    measurements = profile(tracer)          # -> MeasurementSet
+
+The tracer can also ingest pre-recorded events (e.g. read back from a
+trace file) via :meth:`Tracer.add`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import TraceError
+from .events import OUTSIDE_REGION, TraceEvent
+
+
+class Tracer:
+    """Collects trace events and summarizes them."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        self._rank_end: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, rank: int, region: str, activity: str, begin: float,
+               end: float, kind: str = "compute", nbytes: int = 0,
+               partner: int = -1) -> None:
+        """Trace-sink entry point (matches the engine's signature)."""
+        event = TraceEvent(rank=rank, region=region or OUTSIDE_REGION,
+                           activity=activity, begin=begin, end=end,
+                           kind=kind, nbytes=nbytes, partner=partner)
+        self.add(event)
+
+    def add(self, event: TraceEvent) -> None:
+        """Ingest one event (records may arrive in any time order)."""
+        self._events.append(event)
+        previous = self._rank_end.get(event.rank, 0.0)
+        if event.end > previous:
+            self._rank_end[event.rank] = event.end
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        """Ingest many events."""
+        for event in events:
+            self.add(event)
+
+    def clear(self) -> None:
+        """Drop everything recorded so far."""
+        self._events.clear()
+        self._rank_end.clear()
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        """All events, in recording order."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def n_ranks(self) -> int:
+        """Number of distinct ranks seen (0 when empty)."""
+        if not self._rank_end:
+            return 0
+        return max(self._rank_end) + 1
+
+    @property
+    def elapsed(self) -> float:
+        """Latest event end time — the traced program's wall clock."""
+        if not self._rank_end:
+            return 0.0
+        return max(self._rank_end.values())
+
+    def regions(self) -> Tuple[str, ...]:
+        """Region names in order of first appearance (outside excluded)."""
+        seen: List[str] = []
+        for event in self._events:
+            if event.region != OUTSIDE_REGION and event.region not in seen:
+                seen.append(event.region)
+        return tuple(seen)
+
+    def activities(self) -> Tuple[str, ...]:
+        """Activity names in order of first appearance."""
+        seen: List[str] = []
+        for event in self._events:
+            if event.activity not in seen:
+                seen.append(event.activity)
+        return tuple(seen)
+
+    def events_of(self, rank: int) -> Tuple[TraceEvent, ...]:
+        """Events of one rank, in recording order."""
+        if rank < 0:
+            raise TraceError("rank must be non-negative")
+        return tuple(event for event in self._events if event.rank == rank)

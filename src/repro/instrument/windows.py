@@ -1,0 +1,143 @@
+"""Windowed profiles: slicing a trace into time intervals.
+
+A single profile averages away *dynamic* behavior — a program whose
+imbalance grows over time looks moderately imbalanced overall.  This
+module slices a trace into consecutive time windows and aggregates each
+window separately, producing the per-interval measurement sets that
+:mod:`repro.core.temporal` analyzes for trends.
+
+Events spanning a window boundary are split proportionally: the portion
+of the interval inside each window is attributed to that window, so the
+windowed tensors sum (over windows) to the whole-trace tensor exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.measurements import MeasurementSet
+from ..errors import TraceError
+from .events import TraceEvent
+from .profile import profile
+from .tracer import Tracer
+
+
+@dataclass(frozen=True)
+class Window:
+    """One time window of a trace with its aggregated profile."""
+
+    begin: float
+    end: float
+    measurements: MeasurementSet
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.begin + self.end)
+
+
+def _clip(event: TraceEvent, begin: float, end: float) -> Optional[TraceEvent]:
+    clipped_begin = max(event.begin, begin)
+    clipped_end = min(event.end, end)
+    if clipped_end <= clipped_begin:
+        return None
+    return TraceEvent(rank=event.rank, region=event.region,
+                      activity=event.activity, begin=clipped_begin,
+                      end=clipped_end, kind=event.kind, nbytes=event.nbytes,
+                      partner=event.partner)
+
+
+def window_profiles_at(tracer: Tracer, boundaries: Sequence[float],
+                       regions: Optional[Sequence[str]] = None,
+                       activities: Optional[Sequence[str]] = None
+                       ) -> List[Window]:
+    """Profile the trace between explicit time boundaries.
+
+    ``boundaries`` are strictly increasing times; window k covers
+    ``[boundaries[k], boundaries[k+1])``.  Use this to align windows
+    with known phase boundaries (e.g. time-step starts) instead of the
+    equal slicing of :func:`window_profiles`.
+    """
+    edges = [float(value) for value in boundaries]
+    if len(edges) < 2:
+        raise TraceError("need at least two boundaries")
+    if any(later <= earlier for earlier, later in zip(edges, edges[1:])):
+        raise TraceError("boundaries must be strictly increasing")
+    if len(tracer) == 0:
+        raise TraceError("cannot window an empty trace")
+    region_names = tuple(regions) if regions is not None else tracer.regions()
+    if activities is None:
+        whole = profile(tracer, regions=region_names)
+        activity_names: Tuple[str, ...] = whole.activities
+    else:
+        activity_names = tuple(activities)
+    windows: List[Window] = []
+    for begin, end in zip(edges, edges[1:]):
+        sliced = Tracer()
+        for event in tracer.events:
+            clipped = _clip(event, begin, end)
+            if clipped is not None:
+                sliced.add(clipped)
+        if len(sliced) == 0:
+            continue
+        try:
+            measurements = profile(sliced, regions=region_names,
+                                   activities=activity_names,
+                                   n_ranks=tracer.n_ranks)
+        except TraceError:
+            continue
+        windows.append(Window(begin=begin, end=end,
+                              measurements=measurements))
+    if not windows:
+        raise TraceError("no window contains annotated events")
+    return windows
+
+
+def window_profiles(tracer: Tracer, n_windows: int,
+                    regions: Optional[Sequence[str]] = None,
+                    activities: Optional[Sequence[str]] = None
+                    ) -> List[Window]:
+    """Slice a trace into ``n_windows`` equal time windows and profile
+    each.
+
+    Region and activity orders are fixed across windows (by default:
+    the whole trace's), so the per-window measurement sets are directly
+    comparable.  Windows containing no annotated events are dropped.
+    """
+    if n_windows < 1:
+        raise TraceError("need at least one window")
+    if len(tracer) == 0:
+        raise TraceError("cannot window an empty trace")
+    span = tracer.elapsed
+    if span <= 0.0:
+        raise TraceError("trace spans no time")
+    region_names = tuple(regions) if regions is not None else tracer.regions()
+    if activities is None:
+        # Fix the activity order from the whole trace so sparse windows
+        # do not change the column layout.
+        whole = profile(tracer, regions=region_names)
+        activity_names: Tuple[str, ...] = whole.activities
+    else:
+        activity_names = tuple(activities)
+
+    edges = [span * k / n_windows for k in range(n_windows + 1)]
+    windows: List[Window] = []
+    for begin, end in zip(edges, edges[1:]):
+        sliced = Tracer()
+        for event in tracer.events:
+            clipped = _clip(event, begin, end)
+            if clipped is not None:
+                sliced.add(clipped)
+        if len(sliced) == 0:
+            continue
+        try:
+            measurements = profile(sliced, regions=region_names,
+                                   activities=activity_names,
+                                   n_ranks=tracer.n_ranks)
+        except TraceError:
+            continue        # window holds only out-of-region time
+        windows.append(Window(begin=begin, end=end,
+                              measurements=measurements))
+    if not windows:
+        raise TraceError("no window contains annotated events")
+    return windows

@@ -1,0 +1,46 @@
+"""A discrete-event simulator of a message-passing machine.
+
+Substitute for the paper's IBM SP2 testbed: rank programs written as
+Python generators run against a LogGP-style network model, with genuine
+point-to-point matching (eager and rendezvous protocols) and collectives
+implemented as message-passing algorithms (binomial trees, recursive
+doubling, pairwise exchange, dissemination barrier).
+
+The simulator is deterministic: a given program and network model always
+yield the same clocks and the same trace.
+"""
+
+from .communicator import (COLLECTIVE, COMPUTATION, INTERNAL_TAG_BASE, IO,
+                           POINT_TO_POINT, SYNCHRONIZATION, Communicator)
+from .engine import Engine, SimulationResult
+from .groups import GroupCommunicator
+from .machines import (COMMODITY_CLUSTER, FAST_FABRIC, MACHINES,
+                       SHARED_MEMORY, SP2, machine, multi_frame_sp2)
+from .network import ZERO_COST, NetworkModel
+from .replay import replay, replay_program
+from .simulator import Simulator
+from .types import ANY_SOURCE, ANY_TAG, Message, Request
+
+__all__ = [
+    "COLLECTIVE",
+    "COMPUTATION",
+    "IO",
+    "INTERNAL_TAG_BASE",
+    "POINT_TO_POINT",
+    "SYNCHRONIZATION",
+    "Communicator",
+    "Engine",
+    "GroupCommunicator",
+    "SimulationResult",
+    "COMMODITY_CLUSTER", "FAST_FABRIC", "MACHINES", "SHARED_MEMORY",
+    "SP2", "machine", "multi_frame_sp2",
+    "ZERO_COST",
+    "NetworkModel",
+    "replay",
+    "replay_program",
+    "Simulator",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Message",
+    "Request",
+]

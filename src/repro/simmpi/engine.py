@@ -1,0 +1,437 @@
+"""Discrete-event engine of the MPI simulator.
+
+Rank programs are Python generators that yield primitive operations
+(:mod:`repro.simmpi.types`); the engine advances per-rank clocks,
+matches sends with receives under the network model's eager/rendezvous
+protocols, and resumes ranks with results.  All timing arithmetic is of
+the form ``done = max(ready times) + cost``, so causality is respected
+without a global event queue: a rank simply runs until it blocks, and
+resolving a match re-awakens its partner.
+
+Timing rules
+------------
+* ``Compute(d)``           — clock += d.
+* eager send               — sender pays ``overhead``; the message
+  arrives at ``post + overhead + transfer_time`` regardless of when the
+  receive is posted (the receiver buffers it).
+* rendezvous send          — both sides synchronize:
+  ``done = max(send post, recv post) + 2*overhead + transfer_time``.
+* receive of eager message — ``done = max(recv post, arrival) + overhead``.
+* ``Wait(request)``        — clock advances to the request's completion
+  time (waiting is attributed to the caller's current activity).
+
+Every clock advance is reported to the tracer (when one is attached)
+with the (region, activity) context captured at post time, so the trace
+is gap-free by construction.
+
+Determinism: ranks are scheduled from a FIFO ready queue and message
+matching is FIFO per (source, tag) in post order, so a given program and
+network model always produce the identical trace.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Sequence
+
+from ..errors import CommunicatorError, DeadlockError, SimulationError
+from .network import NetworkModel
+from .types import (ANY_SOURCE, ANY_TAG, Compute, Elapsed, Message, RecvPost,
+                    Request, SendPost, Wait)
+
+#: Signature of a trace sink: (rank, region, activity, begin, end, kind,
+#: nbytes, partner).
+TraceSink = Callable[[int, str, str, float, float, str, int, int], None]
+
+
+@dataclass
+class _PendingSend:
+    seq: int
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    post_time: float
+    eager: bool
+    arrival: float              # meaningful for eager sends
+    op: SendPost
+    sender_blocked: bool
+
+
+@dataclass
+class _PendingRecv:
+    seq: int
+    rank: int
+    source: int
+    tag: int
+    post_time: float
+    op: RecvPost
+    receiver_blocked: bool
+
+
+@dataclass
+class _RankState:
+    rank: int
+    generator: Generator
+    clock: float = 0.0
+    done: bool = False
+    blocked: bool = False
+    #: Value to send into the generator on next resume.
+    pending_result: object = None
+    #: Description of what the rank is blocked on (for deadlock reports).
+    blocked_on: str = ""
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a simulation run."""
+
+    #: Final simulated clock of each rank.
+    clocks: List[float]
+    #: Total messages exchanged.
+    messages: int
+    #: Total bytes moved point-to-point (collectives included).
+    bytes_moved: int
+    #: Values returned by rank programs (via ``return``), rank-indexed.
+    returns: List[object]
+
+    @property
+    def elapsed(self) -> float:
+        """Program wall clock: the slowest rank's finish time."""
+        return max(self.clocks)
+
+
+class Engine:
+    """Runs a set of rank generators to completion.
+
+    ``max_operations`` is a watchdog against runaway programs (an
+    accidental ``while True`` around a zero-cost operation would
+    otherwise spin forever): the engine aborts with
+    :class:`SimulationError` after that many primitive operations.
+    """
+
+    def __init__(self, n_ranks: int, network: NetworkModel,
+                 trace_sink: Optional[TraceSink] = None,
+                 max_operations: int = 50_000_000) -> None:
+        if n_ranks < 1:
+            raise SimulationError("need at least one rank")
+        if max_operations < 1:
+            raise SimulationError("max_operations must be positive")
+        self.n_ranks = n_ranks
+        self.network = network
+        self.trace_sink = trace_sink
+        self.max_operations = max_operations
+        self._operations = 0
+        self._seq = 0
+        self._pending_sends: Dict[int, List[_PendingSend]] = {
+            r: [] for r in range(n_ranks)}
+        self._pending_recvs: Dict[int, List[_PendingRecv]] = {
+            r: [] for r in range(n_ranks)}
+        self._states: List[_RankState] = []
+        self._ready: deque = deque()
+        self._messages = 0
+        self._bytes = 0
+        self._returns: List[object] = [None] * n_ranks
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, generators: Sequence[Generator]) -> SimulationResult:
+        """Execute one generator per rank until all finish."""
+        if len(generators) != self.n_ranks:
+            raise SimulationError(
+                f"expected {self.n_ranks} rank generators, "
+                f"got {len(generators)}")
+        self._states = [_RankState(rank=r, generator=g)
+                        for r, g in enumerate(generators)]
+        self._ready = deque(range(self.n_ranks))
+        while self._ready:
+            rank = self._ready.popleft()
+            self._advance(rank)
+            if not self._ready and not all(s.done for s in self._states):
+                blocked = [f"rank {s.rank}: {s.blocked_on}"
+                           for s in self._states if not s.done]
+                raise DeadlockError(
+                    "all live ranks are blocked:\n  " + "\n  ".join(blocked))
+        return SimulationResult(
+            clocks=[s.clock for s in self._states],
+            messages=self._messages,
+            bytes_moved=self._bytes,
+            returns=list(self._returns),
+        )
+
+    # ------------------------------------------------------------------
+    # Rank stepping
+    # ------------------------------------------------------------------
+    def _advance(self, rank: int) -> None:
+        """Run one rank until it blocks or finishes."""
+        state = self._states[rank]
+        if state.done or state.blocked:
+            return
+        while True:
+            try:
+                op = state.generator.send(state.pending_result)
+            except StopIteration as stop:
+                state.done = True
+                self._returns[rank] = stop.value
+                return
+            state.pending_result = None
+            self._operations += 1
+            if self._operations > self.max_operations:
+                raise SimulationError(
+                    f"operation budget exhausted ({self.max_operations}); "
+                    "a rank program is likely spinning")
+            if isinstance(op, Compute):
+                self._do_compute(state, op)
+            elif isinstance(op, SendPost):
+                if not self._do_send(state, op):
+                    return
+            elif isinstance(op, RecvPost):
+                if not self._do_recv(state, op):
+                    return
+            elif isinstance(op, Wait):
+                if not self._do_wait(state, op):
+                    return
+            elif isinstance(op, Elapsed):
+                state.pending_result = state.clock
+            else:
+                raise SimulationError(
+                    f"rank {rank} yielded an unknown operation {op!r}")
+
+    def _resume(self, rank: int, result: object) -> None:
+        state = self._states[rank]
+        state.blocked = False
+        state.blocked_on = ""
+        state.pending_result = result
+        self._ready.append(rank)
+
+    def _trace(self, rank: int, context: tuple, begin: float, end: float,
+               kind: str, nbytes: int = 0, partner: int = -1,
+               allow_zero: bool = False) -> None:
+        # Zero-length intervals are dropped except for waits, whose
+        # events carry the resolved message (post-mortem tools need the
+        # receive to exist in the trace even when it cost no time).
+        if self.trace_sink is None:
+            return
+        if end < begin or (end == begin and not allow_zero):
+            return
+        region, activity = context
+        self.trace_sink(rank, region, activity, begin, end, kind,
+                        nbytes, partner)
+
+    # ------------------------------------------------------------------
+    # Primitive operations
+    # ------------------------------------------------------------------
+    def _do_compute(self, state: _RankState, op: Compute) -> None:
+        if op.duration < 0.0:
+            raise SimulationError("compute duration must be non-negative")
+        begin = state.clock
+        state.clock += op.duration
+        context = getattr(op, "context", ("", "computation"))
+        self._trace(state.rank, context, begin, state.clock, "compute")
+        state.pending_result = None
+
+    def _check_peer(self, rank: int, kind: str) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise CommunicatorError(
+                f"{kind} peer {rank} outside 0..{self.n_ranks - 1}")
+
+    def _do_send(self, state: _RankState, op: SendPost) -> bool:
+        """Returns False when the rank blocked."""
+        self._check_peer(op.dest, "send")
+        if op.dest == state.rank:
+            raise CommunicatorError(f"rank {state.rank} sending to itself")
+        if op.nbytes < 0:
+            raise CommunicatorError("message size must be non-negative")
+        if op.tag < 0:
+            raise CommunicatorError("tags must be non-negative")
+        self._seq += 1
+        post_time = state.clock
+        eager = self.network.is_eager(op.nbytes)
+        entry = _PendingSend(
+            seq=self._seq, src=state.rank, dst=op.dest, tag=op.tag,
+            nbytes=op.nbytes, post_time=post_time, eager=eager,
+            arrival=0.0, op=op, sender_blocked=False)
+        self._messages += 1
+        self._bytes += op.nbytes
+
+        if eager:
+            sender_done = post_time + self.network.overhead
+            entry.arrival = (post_time + self.network.overhead +
+                             self.network.transfer_time(op.nbytes,
+                                                        state.rank, op.dest))
+            state.clock = sender_done
+            self._trace(state.rank, op.context, post_time, sender_done,
+                        "send", op.nbytes, op.dest)
+            if op.request is not None:
+                op.request.done_time = sender_done
+            recv = self._match_recv_for(entry)
+            if recv is not None:
+                self._resolve_eager(entry, recv)
+            else:
+                self._pending_sends[op.dest].append(entry)
+            state.pending_result = op.request
+            return True
+
+        # Rendezvous
+        recv = self._match_recv_for(entry)
+        if recv is not None:
+            done = self._rendezvous_done(entry, recv)
+            self._finish_send(entry, done, blocked=False)
+            self._finish_recv(recv, done,
+                              Message(entry.src, entry.tag, entry.nbytes))
+            if op.blocking:
+                state.clock = done
+                state.pending_result = None
+            else:
+                state.pending_result = op.request
+            return True
+        self._pending_sends[op.dest].append(entry)
+        if op.blocking:
+            entry.sender_blocked = True
+            state.blocked = True
+            state.blocked_on = f"send to {op.dest} (tag {op.tag})"
+            return False
+        state.pending_result = op.request
+        return True
+
+    def _do_recv(self, state: _RankState, op: RecvPost) -> bool:
+        if op.source != ANY_SOURCE:
+            self._check_peer(op.source, "recv")
+        self._seq += 1
+        entry = _PendingRecv(
+            seq=self._seq, rank=state.rank, source=op.source, tag=op.tag,
+            post_time=state.clock, op=op, receiver_blocked=False)
+        send = self._match_send_for(entry)
+        if send is not None:
+            if send.eager:
+                done = max(entry.post_time, send.arrival) + \
+                    self.network.overhead
+                self._finish_recv_inline(state, entry, send, done, op)
+            else:
+                done = self._rendezvous_done(send, entry)
+                self._finish_send(send, done, blocked=send.sender_blocked)
+                self._finish_recv_inline(state, entry, send, done, op)
+            return True
+        self._pending_recvs[state.rank].append(entry)
+        if op.blocking:
+            entry.receiver_blocked = True
+            state.blocked = True
+            state.blocked_on = (f"recv from "
+                                f"{'any' if op.source == ANY_SOURCE else op.source} "
+                                f"(tag {'any' if op.tag == ANY_TAG else op.tag})")
+            return False
+        state.pending_result = op.request
+        return True
+
+    def _do_wait(self, state: _RankState, op: Wait) -> bool:
+        request = op.request
+        if request is None:
+            raise CommunicatorError("wait needs a request")
+        if request.owner != state.rank:
+            raise CommunicatorError(
+                f"rank {state.rank} waiting on rank {request.owner}'s request")
+        if request.completed:
+            begin = state.clock
+            state.clock = max(state.clock, request.done_time)
+            message = request.message
+            self._trace(state.rank, op.context, begin, state.clock, "wait",
+                        message.nbytes if message else 0,
+                        message.source if message else -1,
+                        allow_zero=message is not None)
+            state.pending_result = request.message
+            return True
+        state.blocked = True
+        state.blocked_on = f"wait on {request.kind} request"
+        request._waiter = (state.rank, state.clock, op.context)  # noqa: SLF001
+        return False
+
+    # ------------------------------------------------------------------
+    # Matching and resolution
+    # ------------------------------------------------------------------
+    def _match_recv_for(self, send: _PendingSend) -> Optional[_PendingRecv]:
+        queue = self._pending_recvs[send.dst]
+        for index, recv in enumerate(queue):
+            if recv.source in (ANY_SOURCE, send.src) and \
+                    recv.tag in (ANY_TAG, send.tag):
+                return queue.pop(index)
+        return None
+
+    def _match_send_for(self, recv: _PendingRecv) -> Optional[_PendingSend]:
+        queue = self._pending_sends[recv.rank]
+        for index, send in enumerate(queue):
+            if recv.source in (ANY_SOURCE, send.src) and \
+                    recv.tag in (ANY_TAG, send.tag):
+                return queue.pop(index)
+        return None
+
+    def _rendezvous_done(self, send: _PendingSend,
+                         recv: _PendingRecv) -> float:
+        start = max(send.post_time, recv.post_time)
+        return (start + 2.0 * self.network.overhead +
+                self.network.transfer_time(send.nbytes, send.src, recv.rank))
+
+    def _finish_send(self, send: _PendingSend, done: float,
+                     blocked: bool) -> None:
+        state = self._states[send.src]
+        self._trace(send.src, send.op.context, send.post_time, done,
+                    "send", send.nbytes, send.dst)
+        if send.op.request is not None:
+            send.op.request.done_time = done
+            self._notify_waiter(send.op.request)
+        if blocked:
+            state.clock = max(state.clock, done)
+            self._resume(send.src, None)
+
+    def _finish_recv(self, recv: _PendingRecv, done: float,
+                     message: Message) -> None:
+        """Resolve a recv whose owner is blocked or holds a request."""
+        state = self._states[recv.rank]
+        if recv.op.request is not None:
+            recv.op.request.done_time = done
+            recv.op.request.message = message
+            self._notify_waiter(recv.op.request)
+            if recv.receiver_blocked:
+                raise SimulationError("nonblocking recv cannot block")
+            return
+        self._trace(recv.rank, recv.op.context, recv.post_time, done,
+                    "recv", message.nbytes, message.source)
+        state.clock = max(state.clock, done)
+        self._resume(recv.rank, message)
+
+    def _finish_recv_inline(self, state: _RankState, recv: _PendingRecv,
+                            send: _PendingSend, done: float,
+                            op: RecvPost) -> None:
+        """Resolve a recv at its own post time (rank still running)."""
+        message = Message(send.src, send.tag, send.nbytes)
+        if op.request is not None:
+            op.request.done_time = done
+            op.request.message = message
+            state.pending_result = op.request
+            return
+        self._trace(state.rank, op.context, recv.post_time, done,
+                    "recv", message.nbytes, message.source)
+        state.clock = max(state.clock, done)
+        state.pending_result = message
+
+    def _resolve_eager(self, send: _PendingSend, recv: _PendingRecv) -> None:
+        done = max(recv.post_time, send.arrival) + self.network.overhead
+        self._finish_recv(recv, done,
+                          Message(send.src, send.tag, send.nbytes))
+
+    def _notify_waiter(self, request: Request) -> None:
+        waiter = getattr(request, "_waiter", None)
+        if waiter is None:
+            return
+        rank, wait_begin, context = waiter
+        state = self._states[rank]
+        begin = wait_begin
+        state.clock = max(state.clock, request.done_time)
+        message = request.message
+        self._trace(rank, context, begin, state.clock, "wait",
+                    message.nbytes if message else 0,
+                    message.source if message else -1,
+                    allow_zero=message is not None)
+        delattr(request, "_waiter")
+        self._resume(rank, request.message)

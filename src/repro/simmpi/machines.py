@@ -1,0 +1,73 @@
+"""Predefined machine models for the simulator.
+
+The paper measured on an IBM SP2; these presets let experiments run
+against that class of machine and against contrasting interconnects
+without hand-tuning :class:`~repro.simmpi.network.NetworkModel`
+constants.  Numbers are order-of-magnitude figures from the published
+literature of the era (and one modern fabric for contrast) — the
+methodology only needs the relative regimes to be right.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import SimulationError
+from .network import NetworkModel
+
+#: IBM SP2-class machine (the paper's testbed): ~40 us switch latency,
+#: ~35 MB/s sustained point-to-point bandwidth.
+SP2 = NetworkModel(latency=40e-6, bandwidth=35e6, overhead=5e-6,
+                   eager_threshold=8192)
+
+#: Ethernet-era commodity cluster: high latency, modest bandwidth.
+COMMODITY_CLUSTER = NetworkModel(latency=150e-6, bandwidth=10e6,
+                                 overhead=20e-6, eager_threshold=4096)
+
+#: Low-latency fabric (Myrinet/Infiniband class).
+FAST_FABRIC = NetworkModel(latency=5e-6, bandwidth=250e6, overhead=1e-6,
+                           eager_threshold=16384)
+
+#: Shared-memory-like model: negligible latency, high bandwidth.
+SHARED_MEMORY = NetworkModel(latency=0.5e-6, bandwidth=2e9, overhead=0.2e-6,
+                             eager_threshold=65536)
+
+MACHINES: Dict[str, NetworkModel] = {
+    "sp2": SP2,
+    "commodity": COMMODITY_CLUSTER,
+    "fast": FAST_FABRIC,
+    "shm": SHARED_MEMORY,
+}
+
+
+def machine(name: str) -> NetworkModel:
+    """Look up a predefined machine model by name."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown machine {name!r}; available: "
+            f"{tuple(sorted(MACHINES))}") from None
+
+
+def multi_frame_sp2(frame_size: int = 8,
+                    inter_frame_penalty: float = 2.5) -> NetworkModel:
+    """An SP2 with multiple switch frames: links crossing a frame
+    boundary are ``inter_frame_penalty`` times slower.
+
+    Reproduces the link heterogeneity large SP2 installations showed,
+    a classic source of communication imbalance.
+    """
+    if frame_size < 1:
+        raise SimulationError("frame_size must be positive")
+    if inter_frame_penalty < 1.0:
+        raise SimulationError("inter_frame_penalty must be >= 1")
+
+    def link_scale(src: int, dst: int) -> float:
+        return (inter_frame_penalty
+                if src // frame_size != dst // frame_size else 1.0)
+
+    return NetworkModel(latency=SP2.latency, bandwidth=SP2.bandwidth,
+                        overhead=SP2.overhead,
+                        eager_threshold=SP2.eager_threshold,
+                        link_scale=link_scale)

@@ -1,0 +1,68 @@
+"""Network performance model for the simulated message-passing machine.
+
+A LogGP-flavoured model, parameterized like the IBM SP2-class machines
+the paper measured on:
+
+* ``overhead``  — CPU time a rank spends injecting or extracting a
+  message (the *o* of LogP);
+* ``latency``   — wire latency of a message (the *L* of LogP);
+* ``bandwidth`` — sustained point-to-point bandwidth in bytes/second
+  (the inverse *G* of LogGP);
+* ``eager_threshold`` — messages up to this size are sent *eagerly*
+  (buffered at the receiver; the sender does not wait for the matching
+  receive), larger messages use a *rendezvous* (both sides synchronize
+  before the transfer).
+
+The model also supports deterministic per-link heterogeneity — a
+``link_scale(src, dst)`` multiplier — which the workloads use to emulate
+machines with non-uniform links (e.g. multi-frame SP2 switches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+
+
+def _uniform_link(src: int, dst: int) -> float:
+    return 1.0
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Timing parameters of the simulated interconnect."""
+
+    latency: float = 40e-6           # 40 us, SP2-class switch
+    bandwidth: float = 35e6          # 35 MB/s sustained
+    overhead: float = 5e-6           # per-message CPU overhead
+    eager_threshold: int = 8192      # bytes
+    link_scale: Callable[[int, int], float] = field(default=_uniform_link)
+
+    def __post_init__(self) -> None:
+        if self.latency < 0.0 or self.overhead < 0.0:
+            raise SimulationError("latency and overhead must be non-negative")
+        if self.bandwidth <= 0.0:
+            raise SimulationError("bandwidth must be positive")
+        if self.eager_threshold < 0:
+            raise SimulationError("eager_threshold must be non-negative")
+
+    def transfer_time(self, nbytes: int, src: int, dst: int) -> float:
+        """Pure wire time of a message of ``nbytes`` from src to dst."""
+        if nbytes < 0:
+            raise SimulationError("message size must be non-negative")
+        scale = self.link_scale(src, dst)
+        if scale <= 0.0:
+            raise SimulationError("link_scale must return a positive factor")
+        return scale * (self.latency + nbytes / self.bandwidth)
+
+    def is_eager(self, nbytes: int) -> bool:
+        """Whether a message of this size uses the eager protocol."""
+        return nbytes <= self.eager_threshold
+
+
+#: A model with negligible communication cost, useful in unit tests that
+#: check matching semantics rather than timing.
+ZERO_COST = NetworkModel(latency=0.0, bandwidth=1e30, overhead=0.0,
+                         eager_threshold=1 << 30)

@@ -1,0 +1,67 @@
+"""High-level entry point of the MPI simulator.
+
+:class:`Simulator` builds one :class:`Communicator` per rank, wires the
+optional tracer, instantiates the rank program generators and runs the
+engine:
+
+.. code-block:: python
+
+    from repro.simmpi import Simulator
+
+    def program(comm):
+        with comm.region("main"):
+            yield from comm.compute(1e-3 * (comm.rank + 1))
+            yield from comm.barrier()
+
+    result = Simulator(n_ranks=16).run(program)
+    print(result.elapsed)
+
+The program receives the communicator plus any extra positional and
+keyword arguments given to :meth:`Simulator.run`.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from .communicator import Communicator
+from .engine import Engine, SimulationResult, TraceSink
+from .network import NetworkModel
+
+
+class Simulator:
+    """Configured simulation: rank count, network model, trace sink.
+
+    ``trace_sink`` is any callable with the :data:`TraceSink` signature;
+    :class:`repro.instrument.Tracer` provides one via its ``record``
+    method.
+    """
+
+    def __init__(self, n_ranks: int,
+                 network: Optional[NetworkModel] = None,
+                 trace_sink: Optional[TraceSink] = None,
+                 max_operations: int = 50_000_000) -> None:
+        if n_ranks < 1:
+            raise SimulationError("need at least one rank")
+        self.n_ranks = n_ranks
+        self.network = network if network is not None else NetworkModel()
+        self.trace_sink = trace_sink
+        self.max_operations = max_operations
+
+    def run(self, program: Callable, *args, **kwargs) -> SimulationResult:
+        """Run ``program(comm, *args, **kwargs)`` on every rank."""
+        generators = []
+        for rank in range(self.n_ranks):
+            comm = Communicator(rank, self.n_ranks)
+            generator = program(comm, *args, **kwargs)
+            if not inspect.isgenerator(generator):
+                raise SimulationError(
+                    "rank programs must be generator functions (use "
+                    "'yield from comm.<operation>(...)'); "
+                    f"{program!r} returned {type(generator).__name__}")
+            generators.append(generator)
+        engine = Engine(self.n_ranks, self.network, self.trace_sink,
+                max_operations=self.max_operations)
+        return engine.run(generators)

@@ -1,0 +1,95 @@
+"""Primitive operation and message types of the MPI simulator.
+
+Rank programs are Python generators.  They never see these primitives
+directly — the :class:`~repro.simmpi.communicator.Communicator` methods
+(themselves generators, used with ``yield from``) yield them to the
+engine, which fills in the timing and sends results back into the
+generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Wildcard source for receives.
+ANY_SOURCE = -1
+#: Wildcard tag for receives.
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """What a receive returns: sender, tag and payload size."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+
+@dataclass
+class Request:
+    """Handle of a nonblocking operation.
+
+    ``done_time`` is filled by the engine when the operation's completion
+    time becomes known; ``message`` is set for receives.
+    """
+
+    owner: int
+    kind: str                      # "send" or "recv"
+    done_time: Optional[float] = None
+    message: Optional[Message] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.done_time is not None
+
+
+@dataclass
+class Compute:
+    """Advance the rank's clock by ``duration`` seconds of computation."""
+
+    duration: float
+    #: Filled by the communicator: (region, activity) at post time.
+    context: tuple = ("", "computation")
+
+
+@dataclass
+class SendPost:
+    """Post a send of ``nbytes`` to ``dest`` with ``tag``.
+
+    ``blocking`` sends suspend the rank until the send completes;
+    nonblocking ones return a :class:`Request` immediately.
+    """
+
+    dest: int
+    nbytes: int
+    tag: int
+    blocking: bool
+    #: Filled by the communicator: (region, activity) at post time.
+    context: tuple = ("", "")
+    request: Optional[Request] = None
+
+
+@dataclass
+class RecvPost:
+    """Post a receive matching ``source``/``tag`` (wildcards allowed)."""
+
+    source: int
+    tag: int
+    blocking: bool
+    context: tuple = ("", "")
+    request: Optional[Request] = None
+
+
+@dataclass
+class Wait:
+    """Suspend the rank until a previously returned request completes."""
+
+    request: Request
+    context: tuple = ("", "")
+
+
+@dataclass
+class Elapsed:
+    """Query the rank's current simulated clock (no time passes)."""

@@ -1,0 +1,22 @@
+"""Plain-text visualization: aligned tables and ASCII pattern figures."""
+
+from .ascii_patterns import BAND_CHARS, render_pattern_grid, render_row
+from .heatmap import HEATMAP_LEGEND, render_heatmap
+from .lorenz import gini_summary, render_lorenz, render_region_lorenz
+from .tables import format_float_table, format_table
+from .timeline import ACTIVITY_CHARS, render_timeline
+
+__all__ = [
+    "BAND_CHARS",
+    "render_pattern_grid",
+    "render_row",
+    "HEATMAP_LEGEND",
+    "render_heatmap",
+    "gini_summary",
+    "render_lorenz",
+    "render_region_lorenz",
+    "format_float_table",
+    "format_table",
+    "ACTIVITY_CHARS",
+    "render_timeline",
+]

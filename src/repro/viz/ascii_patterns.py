@@ -1,0 +1,46 @@
+"""ASCII rendering of the paper's Figures 1 and 2.
+
+The figures show, per loop, one colored cell per processor.  Here colors
+become characters:
+
+* ``#`` — the maximum time of the loop;
+* ``.`` — the minimum;
+* ``+`` — upper 15% interval;
+* ``-`` — lower 15% interval;
+* `` `` (space, drawn as ``o``) — mid values.
+
+:func:`render_pattern_grid` prints a grid with a legend; loops that do
+not perform the activity are omitted, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.patterns import Band, PatternGrid
+
+#: Character used for each band.
+BAND_CHARS: Dict[Band, str] = {
+    Band.MAX: "#",
+    Band.MIN: ".",
+    Band.UPPER: "+",
+    Band.LOWER: "-",
+    Band.MID: "o",
+}
+
+LEGEND = ("legend: # max   + upper 15%   o mid   - lower 15%   . min")
+
+
+def render_row(bands) -> str:
+    """One region's band row as a cell string like ``[#][+][o]...``."""
+    return "".join(f"[{BAND_CHARS[band]}]" for band in bands)
+
+
+def render_pattern_grid(grid: PatternGrid) -> str:
+    """Render a whole activity's pattern grid with labels and legend."""
+    width = max((len(region) for region in grid.regions), default=0)
+    lines = [grid.activity, "=" * max(len(grid.activity), 1)]
+    for region, bands in zip(grid.regions, grid.rows):
+        lines.append(f"{region.ljust(width)}  {render_row(bands)}")
+    lines.append(LEGEND)
+    return "\n".join(lines)

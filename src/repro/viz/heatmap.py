@@ -1,0 +1,82 @@
+"""ASCII heatmaps of the measurement tensor.
+
+A shaded grid — regions down, processors across — showing each
+processor's share of a region's time relative to the balanced 1/P:
+
+* `` `` (blank)  well below balanced (< 50%)
+* ``.``          below balanced
+* ``:``          about balanced (within ±10%)
+* ``*``          above balanced
+* ``#``          well above balanced (> 150%)
+
+The heatmap is the quantitative sibling of the paper's Figures 1–2: the
+figures show bands within each row's own range, while the heatmap is
+normalized against perfect balance so rows are comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.measurements import MeasurementSet
+from ..errors import MeasurementError
+
+#: Shade thresholds, as multiples of the balanced share 1/P.
+_SHADES = (
+    (0.50, " "),
+    (0.90, "."),
+    (1.10, ":"),
+    (1.50, "*"),
+    (np.inf, "#"),
+)
+
+HEATMAP_LEGEND = ("legend (share vs balanced 1/P): "
+                  "' '<50%  .<90%  :~100%  *<150%  #>150%")
+
+
+def _shade(ratio: float) -> str:
+    for threshold, character in _SHADES:
+        if ratio < threshold:
+            return character
+    return "#"
+
+
+def render_heatmap(measurements: MeasurementSet,
+                   activity: Optional[str] = None) -> str:
+    """Render the per-processor share heatmap.
+
+    With ``activity`` the grid shows that activity's times; otherwise
+    each region's total per-processor times.  Regions without time in
+    the selected slice are omitted.
+    """
+    if activity is not None:
+        j = measurements.activity_index(activity)
+        grid = measurements.times[:, j, :]
+        title = f"share heatmap — {activity}"
+    else:
+        grid = measurements.processor_region_times()
+        title = "share heatmap — all activities"
+    n_processors = measurements.n_processors
+    balanced = 1.0 / n_processors
+    label_width = max(len(region) for region in measurements.regions)
+    lines = [title, "=" * len(title)]
+    plotted = 0
+    for i, region in enumerate(measurements.regions):
+        row = grid[i, :]
+        total = row.sum()
+        if total <= 0.0:
+            continue
+        shares = row / total
+        cells = "".join(_shade(float(share) / balanced)
+                        for share in shares)
+        lines.append(f"{region.ljust(label_width)} |{cells}|")
+        plotted += 1
+    if plotted == 0:
+        raise MeasurementError("nothing to plot: the selected slice is "
+                               "entirely zero")
+    lines.append(f"{''.ljust(label_width)}  processors 0.."
+                 f"{n_processors - 1}")
+    lines.append(HEATMAP_LEGEND)
+    return "\n".join(lines)

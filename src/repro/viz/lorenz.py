@@ -1,0 +1,78 @@
+"""ASCII Lorenz curves — visualizing the majorization foundation.
+
+A Lorenz curve plots the cumulative share of total time held by the k
+smallest processors; the balanced program follows the diagonal, and the
+further the curve sags, the more spread out the load.  Lorenz dominance
+is exactly majorization (for equal-sum data), so this is the picture
+behind the paper's indices of dispersion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..core.majorization import lorenz_curve
+from ..errors import MajorizationError
+
+
+def render_lorenz(values: Sequence[float], width: int = 41,
+                  height: int = 17, label: str = "") -> str:
+    """Render one data set's Lorenz curve as an ASCII plot.
+
+    ``*`` marks the curve, ``.`` the diagonal (perfect balance).
+    """
+    if width < 11 or height < 7:
+        raise MajorizationError("plot must be at least 11x7 characters")
+    fractions, shares = lorenz_curve(values)
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float):
+        column = int(round(x * (width - 1)))
+        row = (height - 1) - int(round(y * (height - 1)))
+        return row, column
+
+    for k in range(width):
+        x = k / (width - 1)
+        row, column = cell(x, x)
+        grid[row][column] = "."
+    xs = np.linspace(0.0, 1.0, width)
+    ys = np.interp(xs, fractions, shares)
+    for x, y in zip(xs, ys):
+        row, column = cell(float(x), float(y))
+        grid[row][column] = "*"
+
+    lines = []
+    if label:
+        lines.append(label)
+    for row_index, row in enumerate(grid):
+        prefix = "1|" if row_index == 0 else \
+            ("0|" if row_index == height - 1 else " |")
+        lines.append(prefix + "".join(row))
+    lines.append("  0" + " " * (width - 2) + "1")
+    lines.append("  (* Lorenz curve, . perfect balance; "
+                 "cumulative share of the k smallest)")
+    return "\n".join(lines)
+
+
+def render_region_lorenz(measurements, region: str,
+                         width: int = 41, height: int = 17) -> str:
+    """Lorenz curve of one region's per-processor total times."""
+    i = measurements.region_index(region)
+    totals = measurements.processor_region_times()[i, :]
+    return render_lorenz(totals, width=width, height=height,
+                         label=f"Lorenz curve — {region} "
+                               f"(P = {totals.size})")
+
+
+def gini_summary(measurements) -> Dict[str, float]:
+    """Gini coefficient of each region's per-processor totals."""
+    from ..core.dispersion import gini_coefficient
+    summary: Dict[str, float] = {}
+    totals = measurements.processor_region_times()
+    for i, region in enumerate(measurements.regions):
+        row = totals[i, :]
+        if row.sum() > 0.0:
+            summary[region] = gini_coefficient(row)
+    return summary

@@ -1,0 +1,56 @@
+"""Aligned plain-text table rendering.
+
+A minimal, dependency-free formatter used by the report module, the
+benchmarks and the examples to print the paper's tables.  Columns are
+sized to their widest cell; the first column is left-aligned, the rest
+right-aligned (numbers read best that way).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: str = "") -> str:
+    """Render ``header`` and ``rows`` as an aligned text table."""
+    cells: List[List[str]] = [[str(cell) for cell in header]]
+    for row in rows:
+        if len(row) != len(header):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(header)}")
+        cells.append([str(cell) for cell in row])
+    widths = [max(len(line[column]) for line in cells)
+              for column in range(len(header))]
+
+    def render_row(row: Sequence[str]) -> str:
+        parts = [row[0].ljust(widths[0])]
+        parts += [row[column].rjust(widths[column])
+                  for column in range(1, len(row))]
+        return "  ".join(parts).rstrip()
+
+    separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(cells[0]))
+    lines.append(separator)
+    lines += [render_row(row) for row in cells[1:]]
+    return "\n".join(lines)
+
+
+def format_float_table(header: Sequence[str],
+                       rows: Sequence[Sequence],
+                       precision: int = 5,
+                       title: str = "") -> str:
+    """Like :func:`format_table` but formats numeric cells uniformly."""
+    formatted = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(f"{cell:.{precision}f}")
+            else:
+                cells.append(str(cell))
+        formatted.append(cells)
+    return format_table(header, formatted, title=title)

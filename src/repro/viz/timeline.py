@@ -1,0 +1,94 @@
+"""ASCII timelines — a Gantt view of a trace.
+
+Renders each rank's execution as a row of characters over time, one
+character per time bucket, colored by the dominant activity in that
+bucket:
+
+* ``#`` computation
+* ``~`` point-to-point
+* ``=`` collective
+* ``|`` synchronization
+* ``.`` idle / untraced
+* ``+`` mixed (no activity holds the majority)
+
+The picture the paper's Figures hint at — who waits where — becomes
+directly visible: a late rank shows a long ``#`` run while everyone
+else shows ``|`` or ``=``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import TraceError
+from ..instrument.tracer import Tracer
+
+#: Character for each activity (majority per bucket).
+ACTIVITY_CHARS: Dict[str, str] = {
+    "computation": "#",
+    "point-to-point": "~",
+    "collective": "=",
+    "synchronization": "|",
+}
+
+IDLE_CHAR = "."
+MIXED_CHAR = "+"
+
+TIMELINE_LEGEND = ("legend: # computation   ~ point-to-point   "
+                   "= collective   | synchronization   . idle   + mixed")
+
+
+def _bucket_rows(tracer: Tracer, rank: int, width: int,
+                 span: float) -> List[str]:
+    buckets: List[Dict[str, float]] = [dict() for _ in range(width)]
+    step = span / width
+    for event in tracer.events_of(rank):
+        first = min(int(event.begin / step), width - 1)
+        last = min(int(event.end / step - 1e-12), width - 1)
+        for bucket_index in range(first, last + 1):
+            bucket_begin = bucket_index * step
+            bucket_end = bucket_begin + step
+            overlap = min(event.end, bucket_end) - max(event.begin,
+                                                       bucket_begin)
+            if overlap > 0.0:
+                bucket = buckets[bucket_index]
+                bucket[event.activity] = bucket.get(event.activity, 0.0) + \
+                    overlap
+    row = []
+    for bucket_index, bucket in enumerate(buckets):
+        total = sum(bucket.values())
+        if total <= 0.0:
+            row.append(IDLE_CHAR)
+            continue
+        activity, amount = max(bucket.items(), key=lambda item: item[1])
+        if amount < 0.5 * (span / width):
+            row.append(IDLE_CHAR if total < 0.1 * (span / width)
+                       else MIXED_CHAR)
+        else:
+            row.append(ACTIVITY_CHARS.get(activity, MIXED_CHAR))
+    return row
+
+
+def render_timeline(tracer: Tracer, width: int = 72,
+                    ranks: Optional[Sequence[int]] = None) -> str:
+    """Render the whole trace as one row per rank.
+
+    ``width`` is the number of time buckets; ``ranks`` restricts to a
+    subset (default: every rank seen).
+    """
+    if len(tracer) == 0:
+        raise TraceError("cannot render an empty trace")
+    if width < 10:
+        raise TraceError("timeline must be at least 10 buckets wide")
+    span = tracer.elapsed
+    if span <= 0.0:
+        raise TraceError("trace spans no time")
+    rank_list = list(ranks) if ranks is not None else \
+        list(range(tracer.n_ranks))
+    label_width = max(len(f"rank {rank}") for rank in rank_list)
+    lines = [f"timeline: 0 .. {span:.4g} s ({width} buckets)"]
+    for rank in rank_list:
+        row = "".join(_bucket_rows(tracer, rank, width, span))
+        lines.append(f"{('rank ' + str(rank)).ljust(label_width)} {row}")
+    lines.append(TIMELINE_LEGEND)
+    return "\n".join(lines)

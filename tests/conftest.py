@@ -1,0 +1,53 @@
+"""Shared fixtures.
+
+The expensive artifacts — the calibrated reconstruction and a simulated
+CFD run — are session-scoped: they are deterministic, so every test can
+share one instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import run_cfd
+from repro.calibrate import reconstruct
+from repro.core import MeasurementSet
+
+
+@pytest.fixture(scope="session")
+def paper_measurements() -> MeasurementSet:
+    """The reconstructed dataset of the paper's application example."""
+    return reconstruct()
+
+
+@pytest.fixture(scope="session")
+def cfd_run():
+    """One simulated CFD execution: (result, tracer, measurements)."""
+    return run_cfd()
+
+
+@pytest.fixture(scope="session")
+def cfd_measurements(cfd_run) -> MeasurementSet:
+    return cfd_run[2]
+
+
+@pytest.fixture()
+def tiny_measurements() -> MeasurementSet:
+    """A hand-checkable 2-region, 2-activity, 4-processor set.
+
+    Region A / activity X is perfectly balanced; region A / activity Y
+    concentrates on processor 0; region B performs only activity X,
+    mildly skewed.  Every expected number in the formula tests is
+    derived from this tensor by hand.
+    """
+    times = np.array([
+        # region A:   p0   p1   p2   p3
+        [[2.0, 2.0, 2.0, 2.0],      # activity X
+         [4.0, 0.0, 0.0, 0.0]],     # activity Y
+        # region B
+        [[1.0, 2.0, 3.0, 2.0],      # activity X
+         [0.0, 0.0, 0.0, 0.0]],     # activity Y (not performed)
+    ])
+    return MeasurementSet(times, regions=("A", "B"),
+                          activities=("X", "Y"))

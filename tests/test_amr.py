@@ -1,0 +1,86 @@
+"""Tests for the AMR workload: a moving hotspot defeats averaging."""
+
+import numpy as np
+import pytest
+
+from repro.apps import AMR_REGIONS, AMRConfig, run_amr
+from repro.core import dispersion_matrix
+from repro.errors import WorkloadError
+from repro.instrument import window_profiles
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        AMRConfig()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            AMRConfig(base_cells=0)
+        with pytest.raises(WorkloadError):
+            AMRConfig(refine_factor=0.5)
+        with pytest.raises(WorkloadError):
+            AMRConfig(front_speed=0.0)
+
+    def test_refinement_profile(self):
+        config = AMRConfig(refine_factor=4.0, front_width=1)
+        # At step 0 the front sits on rank 0.
+        assert config.refinement(0, 8, 0) == pytest.approx(4.0)
+        assert config.refinement(1, 8, 0) == pytest.approx(2.5)
+        assert config.refinement(4, 8, 0) == pytest.approx(1.0)
+        # Wrap-around distance: rank 7 is adjacent to rank 0.
+        assert config.refinement(7, 8, 0) == pytest.approx(2.5)
+
+    def test_front_moves(self):
+        config = AMRConfig()
+        assert config.refinement(3, 8, 3) == pytest.approx(
+            config.refinement(0, 8, 0))
+
+
+class TestMovingHotspot:
+    @pytest.fixture(scope="class")
+    def run(self):
+        # 12 steps on 12 ranks: the front visits every rank exactly once.
+        return run_amr(AMRConfig(steps=12), n_ranks=12)
+
+    def test_regions(self, run):
+        assert run[2].regions == AMR_REGIONS
+
+    def test_whole_run_looks_balanced(self, run):
+        """Averaged over the run, every rank hosted the front once —
+        the computation dispersion collapses to ~0."""
+        _, _, measurements = run
+        matrix = dispersion_matrix(measurements)
+        comp = measurements.activity_index("computation")
+        solve = measurements.region_index("solve")
+        assert matrix[solve, comp] < 1e-9
+
+    def test_windows_expose_strong_imbalance(self, run):
+        _, tracer, _ = run
+        windows = window_profiles(tracer, 6, regions=("solve",))
+        for window in windows:
+            matrix = dispersion_matrix(window.measurements)
+            comp = window.measurements.activity_index("computation")
+            assert matrix[0, comp] > 0.10
+
+    def test_hotspot_moves_across_windows(self, run):
+        _, tracer, _ = run
+        windows = window_profiles(tracer, 6, regions=("solve",))
+        winners = []
+        for window in windows:
+            comp = window.measurements.activity_index("computation")
+            winners.append(int(np.argmax(
+                window.measurements.times[0, comp, :])))
+        # The front visits a new rank in each window, monotonically.
+        assert len(set(winners)) == len(winners)
+        assert winners == sorted(winners)
+
+    def test_deterministic(self):
+        first = run_amr(AMRConfig(steps=4), n_ranks=6)
+        second = run_amr(AMRConfig(steps=4), n_ranks=6)
+        np.testing.assert_array_equal(first[2].times, second[2].times)
+
+    def test_flux_region_present(self, run):
+        _, _, measurements = run
+        p2p = measurements.activity_index("point-to-point")
+        flux = measurements.region_index("flux")
+        assert measurements.times[flux, p2p, :].sum() > 0.0

@@ -1,0 +1,104 @@
+"""Tests for the binary trace format."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.instrument import (TraceEvent, read_any, read_binary_trace,
+                              sniff_format, write_binary_trace, write_trace)
+
+
+def sample_events():
+    return [
+        TraceEvent(0, "loop 1", "computation", 0.0, 1.5),
+        TraceEvent(1, "loop 1", "point-to-point", 0.25, 2.0, kind="send",
+                   nbytes=123456789, partner=0),
+        TraceEvent(0, "loop 2", "synchronization", 1.5, 1.75, kind="wait",
+                   nbytes=64, partner=1),
+    ]
+
+
+class TestRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.rptb"
+        assert write_binary_trace(path, sample_events()) == 3
+        assert read_binary_trace(path) == sample_events()
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "t.rptb"
+        write_binary_trace(path, [])
+        assert read_binary_trace(path) == []
+
+    def test_unicode_names(self, tmp_path):
+        events = [TraceEvent(0, "Schleife-1 é", "computation",
+                             0.0, 1.0)]
+        path = tmp_path / "t.rptb"
+        write_binary_trace(path, events)
+        assert read_binary_trace(path) == events
+
+    def test_smaller_than_jsonl(self, tmp_path, cfd_run):
+        _, tracer, _ = cfd_run
+        jsonl = tmp_path / "t.jsonl"
+        binary = tmp_path / "t.rptb"
+        write_trace(jsonl, tracer.events)
+        write_binary_trace(binary, tracer.events)
+        assert binary.stat().st_size < jsonl.stat().st_size / 2
+
+    def test_binary_roundtrip_of_simulator_trace(self, tmp_path, cfd_run):
+        _, tracer, _ = cfd_run
+        path = tmp_path / "t.rptb"
+        write_binary_trace(path, tracer.events)
+        assert tuple(read_binary_trace(path)) == tracer.events
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            read_binary_trace(tmp_path / "none.rptb")
+
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "t.rptb"
+        path.write_bytes(b"NOPE" + b"\x00" * 30)
+        with pytest.raises(TraceError):
+            read_binary_trace(path)
+
+    def test_truncated_records(self, tmp_path):
+        path = tmp_path / "t.rptb"
+        write_binary_trace(path, sample_events())
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(TraceError) as info:
+            read_binary_trace(path)
+        assert "truncated" in str(info.value)
+
+    def test_too_short(self, tmp_path):
+        path = tmp_path / "t.rptb"
+        path.write_bytes(b"RP")
+        with pytest.raises(TraceError):
+            read_binary_trace(path)
+
+
+class TestSniffAndDispatch:
+    def test_sniff_binary(self, tmp_path):
+        path = tmp_path / "t.rptb"
+        write_binary_trace(path, sample_events())
+        assert sniff_format(path) == "binary"
+        assert read_any(path) == sample_events()
+
+    def test_sniff_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, sample_events())
+        assert sniff_format(path) == "jsonl"
+        assert read_any(path) == sample_events()
+
+    def test_sniff_gzip_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl.gz"
+        write_trace(path, sample_events())
+        assert sniff_format(path) == "jsonl"
+        assert read_any(path) == sample_events()
+
+    def test_unknown_format(self, tmp_path):
+        path = tmp_path / "mystery.dat"
+        path.write_bytes(b"garbage")
+        assert sniff_format(path) == "unknown"
+        with pytest.raises(TraceError):
+            read_any(path)

@@ -1,0 +1,84 @@
+"""Unit tests for the coarse-grain program characterization."""
+
+import numpy as np
+import pytest
+
+from repro.core import MeasurementSet, characterize
+
+
+@pytest.fixture()
+def measurements():
+    times = np.zeros((3, 2, 2))
+    times[0, 0] = [5.0, 6.0]     # R1/X -> t = 6
+    times[0, 1] = [1.0, 1.0]     # R1/Y -> t = 1
+    times[1, 0] = [2.0, 2.0]     # R2/X -> t = 2
+    times[2, 1] = [3.0, 4.0]     # R3/Y -> t = 4 (no X)
+    return MeasurementSet(times, regions=("R1", "R2", "R3"),
+                          activities=("X", "Y"))
+
+
+class TestCharacterize:
+    def test_dominant_activity(self, measurements):
+        breakdown = characterize(measurements)
+        # T_X = 8, T_Y = 5.
+        assert breakdown.dominant_activity == "X"
+
+    def test_heaviest_region(self, measurements):
+        breakdown = characterize(measurements)
+        # t = (7, 2, 4).
+        assert breakdown.heaviest_region == "R1"
+        assert breakdown.heaviest_region_share == pytest.approx(7.0 / 13.0)
+
+    def test_dominant_activity_region(self, measurements):
+        breakdown = characterize(measurements)
+        assert breakdown.dominant_activity_region == "R1"
+
+    def test_extremes(self, measurements):
+        breakdown = characterize(measurements)
+        by_activity = {e.activity: e for e in breakdown.extremes}
+        assert by_activity["X"].worst_region == "R1"
+        assert by_activity["X"].best_region == "R2"
+        assert by_activity["X"].worst_time == 6.0
+        assert by_activity["Y"].worst_region == "R3"
+        assert by_activity["Y"].best_region == "R1"
+
+    def test_extremes_skip_unperformed_regions(self, measurements):
+        breakdown = characterize(measurements)
+        by_activity = {e.activity: e for e in breakdown.extremes}
+        # R3 performs no X, so it can never be X's best region even
+        # though its X time (0) would be the minimum.
+        assert by_activity["X"].best_region != "R3"
+
+    def test_activity_shares_sum_to_coverage(self, measurements):
+        breakdown = characterize(measurements)
+        assert sum(breakdown.activity_shares.values()) == pytest.approx(
+            measurements.coverage)
+
+    def test_region_shares(self, measurements):
+        breakdown = characterize(measurements)
+        assert breakdown.region_shares["R2"] == pytest.approx(2.0 / 13.0)
+
+    def test_regions_performing(self, measurements):
+        breakdown = characterize(measurements)
+        assert breakdown.regions_performing("X") == ("R1", "R2")
+        assert breakdown.regions_performing("Y") == ("R1", "R3")
+
+
+class TestOnPaperData:
+    def test_paper_narrative(self, paper_measurements):
+        breakdown = characterize(paper_measurements)
+        assert breakdown.dominant_activity == "computation"
+        assert breakdown.heaviest_region == "loop 1"
+        # "about 27% of the overall wall clock time"
+        assert breakdown.heaviest_region_share == pytest.approx(0.27, abs=0.01)
+        by_activity = {e.activity: e for e in breakdown.extremes}
+        # "The loop which spends the longest time in point-to-point
+        # communications is loop 3."
+        assert by_activity["point-to-point"].worst_region == "loop 3"
+        # Loop 1 has the longest computation, collective and
+        # synchronization times.
+        assert by_activity["computation"].worst_region == "loop 1"
+        assert by_activity["collective"].worst_region == "loop 1"
+        assert by_activity["synchronization"].worst_region == "loop 1"
+        # "only three loops perform synchronizations"
+        assert len(breakdown.regions_performing("synchronization")) == 3

@@ -1,0 +1,90 @@
+"""Tests for the checkpointing workload and the i/o activity."""
+
+import numpy as np
+import pytest
+
+from repro.apps import CHECKPOINT_REGIONS, CheckpointConfig, run_checkpoint
+from repro.core import analyze, dispersion_matrix
+from repro.errors import WorkloadError
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        CheckpointConfig()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            CheckpointConfig(steps=0)
+        with pytest.raises(WorkloadError):
+            CheckpointConfig(aggregate_bandwidth=0.0)
+        with pytest.raises(WorkloadError):
+            CheckpointConfig(metadata_time=-1.0)
+
+
+class TestCheckpointWorkload:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_checkpoint(CheckpointConfig(steps=6,
+                                               checkpoint_every=2),
+                              n_ranks=8)
+
+    def test_regions(self, run):
+        assert run[2].regions == CHECKPOINT_REGIONS
+
+    def test_five_activities(self, run):
+        _, _, measurements = run
+        assert "i/o" in measurements.activities
+        assert set(("computation", "synchronization")) <= \
+            set(measurements.activities)
+
+    def test_io_dominates_the_checkpoint_region(self, run):
+        _, _, measurements = run
+        checkpoint = measurements.region_index("checkpoint")
+        io = measurements.activity_index("i/o")
+        row = measurements.region_activity_times[checkpoint]
+        assert row[io] == row.max()
+
+    def test_rank0_metadata_shows_as_io_imbalance(self, run):
+        _, _, measurements = run
+        checkpoint = measurements.region_index("checkpoint")
+        io = measurements.activity_index("i/o")
+        io_times = measurements.times[checkpoint, io, :]
+        assert int(np.argmax(io_times)) == 0
+        matrix = dispersion_matrix(measurements)
+        assert matrix[checkpoint, io] > 0.0
+
+    def test_analysis_handles_fifth_activity(self, run):
+        _, _, measurements = run
+        analysis = analyze(measurements, cluster_count=None)
+        assert "i/o" in analysis.activity_view.activities
+        # The i/o imbalance localizes to the checkpoint region.
+        assert analysis.activity_view.localize("i/o") == "checkpoint"
+
+    def test_io_shrinks_with_bandwidth(self):
+        slow = run_checkpoint(CheckpointConfig(
+            steps=2, checkpoint_every=2, aggregate_bandwidth=100e6),
+            n_ranks=4)
+        fast = run_checkpoint(CheckpointConfig(
+            steps=2, checkpoint_every=2, aggregate_bandwidth=800e6),
+            n_ranks=4)
+        io_slow = slow[2].activity_times[
+            slow[2].activity_index("i/o")]
+        io_fast = fast[2].activity_times[
+            fast[2].activity_index("i/o")]
+        assert io_fast < io_slow
+
+    def test_checkpoint_cost_grows_with_ranks(self):
+        small = run_checkpoint(CheckpointConfig(steps=2), n_ranks=4)
+        large = run_checkpoint(CheckpointConfig(steps=2), n_ranks=16)
+        ckpt_small = small[2].region_times[
+            small[2].region_index("checkpoint")]
+        ckpt_large = large[2].region_times[
+            large[2].region_index("checkpoint")]
+        # Shared bandwidth: the full-machine checkpoint is P times the
+        # single-rank write, so more ranks -> longer checkpoints.
+        assert ckpt_large > ckpt_small * 2
+
+    def test_deterministic(self):
+        first = run_checkpoint(CheckpointConfig(steps=2), n_ranks=4)
+        second = run_checkpoint(CheckpointConfig(steps=2), n_ranks=4)
+        np.testing.assert_array_equal(first[2].times, second[2].times)

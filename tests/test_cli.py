@@ -1,0 +1,174 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.instrument import Tracer, write_tracer
+from repro.simmpi import Simulator
+
+
+@pytest.fixture()
+def tracefile(tmp_path):
+    def program(comm):
+        with comm.region("work"):
+            yield from comm.compute(1e-3 * (comm.rank + 1))
+            yield from comm.allreduce(4096)
+            yield from comm.barrier()
+        with comm.region("exchange"):
+            if comm.rank == 0:
+                yield from comm.send(1, 64 * 1024)
+            elif comm.rank == 1:
+                yield from comm.recv(0)
+
+    tracer = Tracer()
+    Simulator(4, trace_sink=tracer.record).run(program)
+    path = tmp_path / "run.jsonl"
+    write_tracer(path, tracer)
+    return str(path)
+
+
+class TestAnalyzeCommand:
+    def test_basic(self, tracefile, capsys):
+        assert main(["analyze", tracefile]) == 0
+        out = capsys.readouterr().out
+        assert "Top-down analysis summary" in out
+        assert "work" in out
+
+    def test_patterns_flag(self, tracefile, capsys):
+        assert main(["analyze", tracefile, "--patterns"]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+
+    def test_lorenz_flag(self, tracefile, capsys):
+        assert main(["analyze", tracefile, "--lorenz", "work"]) == 0
+        out = capsys.readouterr().out
+        assert "Lorenz curve" in out
+
+    def test_alternative_index(self, tracefile, capsys):
+        assert main(["analyze", tracefile, "--index", "cv"]) == 0
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "none.jsonl")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_index_is_an_error(self, tracefile, capsys):
+        assert main(["analyze", tracefile, "--index", "nope"]) == 2
+
+
+class TestPaperCommand:
+    def test_reproduces(self, capsys):
+        assert main(["paper"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok]" in out
+        assert "0.25754" not in out or True      # narrative is in report
+        assert "loop 1" in out
+
+
+class TestCfdCommand:
+    def test_small_run(self, capsys):
+        assert main(["cfd", "--ranks", "4", "--steps", "1",
+                     "--grid", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated" in out
+        assert "loop 7" in out
+
+    def test_trace_output(self, tmp_path, capsys):
+        trace = tmp_path / "cfd.jsonl.gz"
+        assert main(["cfd", "--ranks", "4", "--steps", "1",
+                     "--grid", "64", "--trace", str(trace)]) == 0
+        assert trace.exists()
+        # The written trace is itself analyzable.
+        assert main(["analyze", str(trace)]) == 0
+
+
+class TestCountersCommand:
+    def test_messages(self, tracefile, capsys):
+        assert main(["counters", tracefile]) == 0
+        out = capsys.readouterr().out
+        assert "counting parameter: messages" in out
+
+    def test_bytes(self, tracefile, capsys):
+        assert main(["counters", tracefile, "--counter", "bytes"]) == 0
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestAnalyzeExtensions:
+    def test_diagnose_flag(self, tracefile, capsys):
+        assert main(["analyze", tracefile, "--diagnose"]) == 0
+        assert "Diagnosis" in capsys.readouterr().out
+
+    def test_timeline_flag(self, tracefile, capsys):
+        assert main(["analyze", tracefile, "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out
+        assert "rank 0" in out
+
+    def test_significance_flag(self, tracefile, capsys):
+        assert main(["analyze", tracefile, "--significance", "0.05"]) == 0
+        assert "noise-calibrated threshold" in capsys.readouterr().out
+
+
+class TestTestbedCommand:
+    def test_add_list_show(self, tracefile, tmp_path, capsys):
+        directory = str(tmp_path / "tb")
+        assert main(["testbed", directory, "add", tracefile,
+                     "--program", "demo", "--machine", "sp2",
+                     "--tag", "smoke"]) == 0
+        trace_id = capsys.readouterr().out.split()[-1]
+        assert main(["testbed", directory, "list"]) == 0
+        listing = capsys.readouterr().out
+        assert "demo on sp2" in listing and "smoke" in listing
+        assert main(["testbed", directory, "show", trace_id]) == 0
+        assert "Top-down analysis summary" in capsys.readouterr().out
+
+    def test_empty_list(self, tmp_path, capsys):
+        assert main(["testbed", str(tmp_path / "tb"), "list"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_show_unknown_id(self, tmp_path, capsys):
+        assert main(["testbed", str(tmp_path / "tb"), "show", "nope"]) == 2
+
+    def test_heatmap_and_whatif_flags(self, tracefile, capsys):
+        assert main(["analyze", tracefile, "--heatmap", "--whatif"]) == 0
+        out = capsys.readouterr().out
+        assert "share heatmap" in out
+        assert "What-if" in out
+
+
+class TestBinaryTraceSupport:
+    def test_analyze_binary_trace(self, tracefile, tmp_path, capsys):
+        from repro.instrument import read_trace, write_binary_trace
+        binary = tmp_path / "t.rptb"
+        write_binary_trace(binary, read_trace(tracefile))
+        assert main(["analyze", str(binary)]) == 0
+        assert "Top-down analysis summary" in capsys.readouterr().out
+
+    def test_cfd_writes_binary_when_asked(self, tmp_path, capsys):
+        trace = tmp_path / "cfd.rptb"
+        assert main(["cfd", "--ranks", "4", "--steps", "1",
+                     "--grid", "64", "--trace", str(trace)]) == 0
+        from repro.instrument import sniff_format
+        assert sniff_format(trace) == "binary"
+        assert main(["analyze", str(trace)]) == 0
+
+
+class TestChromeExportFlag:
+    def test_export(self, tracefile, tmp_path, capsys):
+        target = tmp_path / "chrome.json"
+        assert main(["analyze", tracefile,
+                     "--export-chrome", str(target)]) == 0
+        assert target.exists()
+        import json
+        assert json.loads(target.read_text())["traceEvents"]

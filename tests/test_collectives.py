@@ -1,0 +1,196 @@
+"""Unit tests for the collective algorithms.
+
+Correctness here means: every rank completes, message counts match the
+algorithm, and timing behaves like the collective should (barriers
+synchronize; reductions funnel to the root; costs grow with log P).
+"""
+
+import math
+
+import pytest
+
+from repro.simmpi import NetworkModel, Simulator
+
+FAST = NetworkModel(latency=1e-4, bandwidth=1e8, overhead=0.0,
+                    eager_threshold=1 << 20)
+
+
+def run(program, n_ranks, network=FAST):
+    return Simulator(n_ranks, network=network).run(program)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n_ranks", [2, 3, 4, 7, 16])
+    def test_synchronizes_all_ranks(self, n_ranks):
+        after = {}
+
+        def program(comm):
+            yield from comm.compute(0.01 * (comm.rank + 1))
+            yield from comm.barrier()
+            after[comm.rank] = yield from comm.elapsed()
+
+        run(program, n_ranks)
+        # Every rank leaves the barrier no earlier than the slowest
+        # rank's arrival.
+        slowest_arrival = 0.01 * n_ranks
+        assert min(after.values()) >= slowest_arrival - 1e-12
+        # And the spread after the barrier is bounded by the barrier's
+        # own network cost (log2(P) rounds).
+        rounds = math.ceil(math.log2(n_ranks))
+        assert max(after.values()) - min(after.values()) <= \
+            rounds * 10e-4 + 1e-9
+
+    def test_single_rank_barrier_is_free(self):
+        def program(comm):
+            yield from comm.barrier()
+
+        result = run(program, 1)
+        assert result.messages == 0
+
+    def test_message_count(self):
+        def program(comm):
+            yield from comm.barrier()
+
+        result = run(program, 8)
+        # Dissemination: P messages per round, log2(P) rounds.
+        assert result.messages == 8 * 3
+
+
+class TestBcast:
+    @pytest.mark.parametrize("n_ranks", [2, 5, 8, 16])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_completes_from_any_root(self, n_ranks, root):
+        def program(comm):
+            yield from comm.bcast(root % comm.size, 4096)
+
+        result = run(program, n_ranks)
+        assert result.messages == n_ranks - 1     # tree edge per rank
+
+    def test_non_root_waits_for_root(self):
+        after = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.compute(1.0)
+            yield from comm.bcast(0, 1024)
+            after[comm.rank] = yield from comm.elapsed()
+
+        run(program, 4)
+        assert all(value >= 1.0 for value in after.values())
+
+    def test_cost_scales_logarithmically(self):
+        def program(comm):
+            yield from comm.bcast(0, 1 << 20)
+
+        slow = NetworkModel(latency=0.0, bandwidth=1e6, overhead=0.0,
+                            eager_threshold=1 << 30)
+        elapsed = {}
+        for n_ranks in (2, 16):
+            elapsed[n_ranks] = run(program, n_ranks, network=slow).elapsed
+        # 1 MB at 1 MB/s = 1 s per hop; binomial depth log2(P).
+        assert elapsed[2] == pytest.approx(1.048576, rel=1e-6)
+        assert elapsed[16] == pytest.approx(4 * 1.048576, rel=1e-6)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("n_ranks", [2, 6, 8, 16])
+    def test_message_count(self, n_ranks):
+        def program(comm):
+            yield from comm.reduce(0, 1024)
+
+        result = run(program, n_ranks)
+        assert result.messages == n_ranks - 1
+
+    def test_root_waits_for_slowest_leaf(self):
+        after = {}
+
+        def program(comm):
+            if comm.rank == 3:
+                yield from comm.compute(2.0)
+            yield from comm.reduce(0, 512)
+            after[comm.rank] = yield from comm.elapsed()
+
+        run(program, 4)
+        assert after[0] >= 2.0
+
+
+class TestAllreduce:
+    def test_power_of_two_uses_recursive_doubling(self):
+        def program(comm):
+            yield from comm.allreduce(1024)
+
+        result = run(program, 8)
+        # log2(8) rounds, one send per rank per round.
+        assert result.messages == 8 * 3
+
+    def test_non_power_of_two_falls_back(self):
+        def program(comm):
+            yield from comm.allreduce(1024)
+
+        result = run(program, 6)
+        # reduce (5 msgs) + bcast (5 msgs).
+        assert result.messages == 10
+
+    @pytest.mark.parametrize("n_ranks", [4, 6])
+    def test_synchronizes(self, n_ranks):
+        after = {}
+
+        def program(comm):
+            yield from comm.compute(0.1 * (comm.rank + 1))
+            yield from comm.allreduce(256)
+            after[comm.rank] = yield from comm.elapsed()
+
+        run(program, n_ranks)
+        assert min(after.values()) >= 0.1 * n_ranks - 1e-12
+
+
+class TestOtherCollectives:
+    def test_alltoall_message_count(self):
+        def program(comm):
+            yield from comm.alltoall(128)
+
+        result = run(program, 5)
+        assert result.messages == 5 * 4
+
+    def test_alltoall_bytes(self):
+        def program(comm):
+            yield from comm.alltoall(128)
+
+        result = run(program, 4)
+        assert result.bytes_moved == 4 * 3 * 128
+
+    def test_allgather_ring(self):
+        def program(comm):
+            yield from comm.allgather(64)
+
+        result = run(program, 6)
+        assert result.messages == 6 * 5
+
+    def test_gather_sizes_grow(self):
+        def program(comm):
+            yield from comm.gather(0, 100)
+
+        result = run(program, 8)
+        assert result.messages == 7
+        # Binomial gather moves every rank's 100 bytes exactly once
+        # along tree edges: subtree sizes 1+2+4 per level on the path.
+        assert result.bytes_moved == 100 * (4 * 1 + 2 * 2 + 1 * 4)
+
+    def test_scatter(self):
+        def program(comm):
+            yield from comm.scatter(0, 256)
+
+        result = run(program, 5)
+        assert result.messages == 4
+        assert result.bytes_moved == 4 * 256
+
+    def test_collectives_compose_in_sequence(self):
+        def program(comm):
+            yield from comm.barrier()
+            yield from comm.allreduce(128)
+            yield from comm.bcast(0, 64)
+            yield from comm.reduce(0, 64)
+            yield from comm.barrier()
+
+        result = run(program, 16)
+        assert result.elapsed > 0.0

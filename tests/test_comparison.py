@@ -1,0 +1,114 @@
+"""Unit tests for the before/after tuning comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core import MeasurementSet, compare, render_comparison
+from repro.errors import MeasurementError
+
+
+def build(region_a, region_b, total=None):
+    times = np.zeros((2, 2, 4))
+    times[0, 0] = region_a
+    times[1, 0] = region_b
+    return MeasurementSet(times, regions=("A", "B"), activities=("X", "Y"),
+                          total_time=total)
+
+
+@pytest.fixture()
+def before():
+    return build([1.0, 1.0, 1.0, 3.0], [2.0, 2.0, 2.0, 2.0])
+
+
+@pytest.fixture()
+def after():
+    # Region A rebalanced (and faster); region B untouched.
+    return build([1.5, 1.5, 1.5, 1.5], [2.0, 2.0, 2.0, 2.0])
+
+
+class TestCompare:
+    def test_speedup(self, before, after):
+        report = compare(before, after)
+        # T: 3 + 2 = 5 -> 1.5 + 2 = 3.5.
+        assert report.speedup == pytest.approx(5.0 / 3.5)
+
+    def test_region_deltas(self, before, after):
+        report = compare(before, after)
+        delta_a = report.regions[0]
+        assert delta_a.region == "A"
+        assert delta_a.time_before == pytest.approx(3.0)
+        assert delta_a.time_after == pytest.approx(1.5)
+        assert delta_a.speedup == pytest.approx(2.0)
+        assert delta_a.index_change < 0.0         # got more balanced
+
+    def test_untouched_region_neutral(self, before, after):
+        report = compare(before, after)
+        delta_b = report.regions[1]
+        assert delta_b.speedup == pytest.approx(1.0)
+        assert delta_b.index_change == pytest.approx(0.0)
+
+    def test_improved_and_validated(self, before, after):
+        report = compare(before, after)
+        assert report.improved_regions == ("A",)
+        assert report.time_regressions == ()
+        assert report.imbalance_regressions == ()
+        assert report.validated
+
+    def test_regression_detected(self, before):
+        worse = build([1.0, 1.0, 1.0, 4.0], [2.0, 2.0, 2.0, 2.0])
+        report = compare(before, worse)
+        assert "A" in report.time_regressions
+        assert "A" in report.imbalance_regressions
+        assert not report.validated
+
+    def test_activity_indices(self, before, after):
+        report = compare(before, after)
+        before_x, after_x = report.activity_indices["X"]
+        assert after_x < before_x
+
+    def test_identity_comparison(self, before):
+        report = compare(before, before)
+        assert report.speedup == pytest.approx(1.0)
+        assert not report.time_regressions
+        assert not report.imbalance_regressions
+
+    def test_mismatched_regions_rejected(self, before):
+        other = MeasurementSet(np.ones((2, 2, 4)),
+                               regions=("A", "C"), activities=("X", "Y"))
+        with pytest.raises(MeasurementError):
+            compare(before, other)
+
+    def test_mismatched_processors_rejected(self, before):
+        other = MeasurementSet(np.ones((2, 2, 8)),
+                               regions=("A", "B"), activities=("X", "Y"))
+        with pytest.raises(MeasurementError):
+            compare(before, other)
+
+    def test_render(self, before, after):
+        text = render_comparison(compare(before, after))
+        assert "speedup" in text
+        assert "validated" in text
+        assert "A" in text and "B" in text
+
+    def test_render_flags_regressions(self, before):
+        worse = build([1.0, 1.0, 1.0, 4.0], [2.0, 2.0, 2.0, 2.0])
+        text = render_comparison(compare(before, worse))
+        assert "NOT validated" in text
+        assert "time regressions" in text
+
+
+class TestOnWorkloads:
+    def test_cfd_tuning_validation(self):
+        """Removing the injected imbalance must validate as a repair."""
+        from repro.apps import CFDConfig, run_cfd
+        config = CFDConfig(grid=(64, 64), steps=1)
+        tuned = CFDConfig(grid=(64, 64), steps=1, loop_imbalance={},
+                          jitter=0.0)
+        _, _, before = run_cfd(config)
+        _, _, after = run_cfd(tuned)
+        report = compare(before, after)
+        assert report.speedup > 1.0
+        # The loops whose injectors were removed must get more balanced.
+        by_region = {delta.region: delta for delta in report.regions}
+        assert by_region["loop 4"].index_change < 0.0
+        assert by_region["loop 6"].index_change < 0.0

@@ -1,0 +1,123 @@
+"""Tests for the automated diagnosis and the noise-significance model."""
+
+import numpy as np
+import pytest
+
+from repro.core import (Finding, MeasurementSet, NoiseModel, analyze,
+                        diagnose, noise_quantile, p_value,
+                        render_diagnosis)
+from repro.errors import DispersionError
+
+
+class TestDiagnosisOnPaperData:
+    @pytest.fixture(scope="class")
+    def findings(self, paper_measurements):
+        return diagnose(analyze(paper_measurements))
+
+    def kinds(self, findings):
+        return {finding.kind for finding in findings}
+
+    def by_kind(self, findings, kind):
+        return [finding for finding in findings if finding.kind == kind]
+
+    def test_tuning_candidate_is_loop1_high(self, findings):
+        candidate = self.by_kind(findings, "tuning-candidate")[0]
+        assert candidate.where == "loop 1"
+        assert candidate.severity == "high"
+
+    def test_sync_flagged_as_erratic_but_negligible(self, findings):
+        erratic = self.by_kind(findings,
+                               "erratic-but-negligible-activity")
+        assert any(finding.where == "synchronization"
+                   for finding in erratic)
+        assert all(finding.severity == "low" for finding in erratic)
+
+    def test_loop6_flagged_as_erratic_region(self, findings):
+        erratic = self.by_kind(findings, "erratic-but-negligible-region")
+        assert any(finding.where == "loop 6" for finding in erratic)
+
+    def test_processor_findings(self, findings):
+        frequent = self.by_kind(findings, "imbalanced-processor")[0]
+        assert frequent.where == "processor 1"
+        longest = self.by_kind(findings,
+                               "longest-imbalanced-processor")[0]
+        assert longest.where == "processor 2"
+
+    def test_ordering_high_first(self, findings):
+        severities = [finding.severity for finding in findings]
+        order = {"high": 0, "medium": 1, "low": 2}
+        assert severities == sorted(severities, key=order.get)
+
+    def test_render(self, findings):
+        text = render_diagnosis(findings)
+        assert "Diagnosis" in text
+        assert "loop 1" in text
+        assert "tune it first" in text
+
+    def test_render_empty(self):
+        assert "balanced" in render_diagnosis(())
+
+
+class TestDiagnosisOnBalancedProgram:
+    def test_no_imbalance_findings(self):
+        times = np.ones((3, 2, 8))
+        ms = MeasurementSet(times)
+        findings = diagnose(analyze(ms, cluster_count=None))
+        kinds = {finding.kind for finding in findings}
+        assert "imbalanced-region" not in kinds
+        assert "erratic-but-negligible-region" not in kinds
+        # Structural findings remain.
+        assert "dominant-activity" in kinds
+
+
+class TestNoiseModel:
+    def test_quantile_grows_with_epsilon(self):
+        low = noise_quantile(16, epsilon=0.02, seed=1)
+        high = noise_quantile(16, epsilon=0.20, seed=1)
+        assert high > low > 0.0
+
+    def test_quantile_shrinks_with_processors(self):
+        small = noise_quantile(4, epsilon=0.05, seed=1)
+        large = noise_quantile(64, epsilon=0.05, seed=1)
+        assert large < small
+
+    def test_p_value_extremes(self):
+        model = NoiseModel(16, epsilon=0.05, seed=2)
+        assert model.p_value(0.0) > 0.99
+        assert model.p_value(1.0) < 0.01
+
+    def test_p_value_monotone(self):
+        model = NoiseModel(8, epsilon=0.1, seed=3)
+        values = [model.p_value(x) for x in (0.0, 0.01, 0.05, 0.2)]
+        assert all(later <= earlier
+                   for earlier, later in zip(values, values[1:]))
+
+    def test_is_significant(self):
+        model = NoiseModel(16, epsilon=0.05, seed=4)
+        assert model.is_significant(0.30)        # paper-scale index
+        assert not model.is_significant(0.001)
+
+    def test_deterministic(self):
+        assert noise_quantile(16, seed=7) == noise_quantile(16, seed=7)
+
+    def test_paper_indices_are_significant(self, paper_measurements):
+        """Every printed ID_ij of Table 2 exceeds 5%-jitter noise at
+        q=0.999 except the most balanced entries — i.e. the paper's
+        dissimilarities are real signal, not noise."""
+        from repro.calibrate import paper_data
+        threshold = noise_quantile(16, epsilon=0.05, q=0.999)
+        printed = paper_data.TABLE_2[~np.isnan(paper_data.TABLE_2)]
+        significant = (printed > threshold).sum()
+        assert significant >= len(printed) - 3
+
+    def test_validation(self):
+        with pytest.raises(DispersionError):
+            NoiseModel(1)
+        with pytest.raises(DispersionError):
+            NoiseModel(8, epsilon=0.0)
+        with pytest.raises(DispersionError):
+            NoiseModel(8, samples=10)
+        with pytest.raises(DispersionError):
+            NoiseModel(8).quantile(q=1.0)
+        with pytest.raises(DispersionError):
+            p_value(-1.0, 8)

@@ -1,0 +1,120 @@
+"""Unit tests for the indices of dispersion."""
+
+import numpy as np
+import pytest
+
+from repro.core import dispersion as disp
+from repro.core import (available_indices, coefficient_of_variation,
+                        euclidean_distance, get_index, gini_coefficient,
+                        imbalance_time, mean_absolute_deviation,
+                        theil_index, variance)
+from repro.errors import DispersionError
+
+BALANCED = [0.25, 0.25, 0.25, 0.25]
+CONCENTRATED = [1.0, 0.0, 0.0, 0.0]
+
+
+class TestRegistry:
+    def test_expected_indices_present(self):
+        names = available_indices()
+        for expected in ("euclidean", "variance", "cv", "mad", "max",
+                         "range", "sum", "gini", "theil"):
+            assert expected in names
+
+    def test_get_index_roundtrip(self):
+        assert get_index("euclidean") is euclidean_distance
+
+    def test_get_unknown_index(self):
+        with pytest.raises(DispersionError):
+            get_index("nope")
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(DispersionError):
+            disp.register_index("euclidean")(lambda values: 0.0)
+
+
+class TestEuclidean:
+    def test_balanced_is_zero(self):
+        assert euclidean_distance(BALANCED) == 0.0
+
+    def test_concentrated_value(self):
+        # distance of (1,0,0,0) from its mean 0.25:
+        # sqrt(0.75^2 + 3 * 0.25^2) = sqrt(0.75)
+        assert euclidean_distance(CONCENTRATED) == pytest.approx(
+            np.sqrt(0.75))
+
+    def test_hand_computed(self):
+        # (0.5, 0.5, 0, 0): deviations (±0.25) -> sqrt(4 * 0.0625) = 0.5
+        assert euclidean_distance([0.5, 0.5, 0.0, 0.0]) == pytest.approx(0.5)
+
+    def test_matches_paper_standardization(self):
+        # Standardized times 1/16 + d * spotlight must give back d.
+        from repro.calibrate import shares, spotlight
+        values = shares(16, 0.12870, spotlight(16, 1, +1))
+        assert euclidean_distance(values) == pytest.approx(0.12870)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DispersionError):
+            euclidean_distance([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(DispersionError):
+            euclidean_distance([1.0, float("nan")])
+
+
+class TestOtherIndices:
+    def test_variance(self):
+        assert variance([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_cv(self):
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_cv_zero_mean_rejected(self):
+        with pytest.raises(DispersionError):
+            coefficient_of_variation([0.0, 0.0])
+
+    def test_mad(self):
+        assert mean_absolute_deviation([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_max_and_range(self):
+        assert get_index("max")([1.0, 5.0, 3.0]) == 5.0
+        assert get_index("range")([1.0, 5.0, 3.0]) == 4.0
+
+    def test_sum(self):
+        assert get_index("sum")(BALANCED) == pytest.approx(1.0)
+
+    def test_gini_balanced(self):
+        assert gini_coefficient(BALANCED) == pytest.approx(0.0, abs=1e-12)
+
+    def test_gini_concentrated(self):
+        assert gini_coefficient(CONCENTRATED) == pytest.approx(0.75)
+
+    def test_gini_rejects_negative(self):
+        with pytest.raises(DispersionError):
+            gini_coefficient([1.0, -1.0])
+
+    def test_theil_balanced(self):
+        assert theil_index(BALANCED) == pytest.approx(0.0, abs=1e-12)
+
+    def test_theil_concentrated(self):
+        # (1/n) * (x/mean) * ln(x/mean) summed: (1/4) * 4 * ln(4) = ln(4)
+        assert theil_index(CONCENTRATED) == pytest.approx(np.log(4))
+
+    def test_imbalance_time(self):
+        assert imbalance_time([2.0, 4.0, 6.0]) == pytest.approx(2.0)
+
+
+class TestScaleBehaviour:
+    """Euclidean on *standardized* data is scale-free by construction."""
+
+    def test_standardized_scale_invariance(self):
+        raw = np.array([1.0, 2.0, 3.0, 4.0])
+        for scale in (1.0, 10.0, 1234.5):
+            standardized = raw * scale / (raw * scale).sum()
+            assert euclidean_distance(standardized) == pytest.approx(
+                euclidean_distance(raw / raw.sum()))
+
+    def test_cv_is_scale_invariant_directly(self):
+        raw = [1.0, 2.0, 5.0]
+        assert coefficient_of_variation(raw) == pytest.approx(
+            coefficient_of_variation([10.0, 20.0, 50.0]))

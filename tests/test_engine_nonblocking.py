@@ -1,0 +1,124 @@
+"""Unit tests for nonblocking operations (isend/irecv/wait)."""
+
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.simmpi import NetworkModel, Simulator
+
+FAST = NetworkModel(latency=1e-3, bandwidth=1e6, overhead=0.0,
+                    eager_threshold=100)
+
+
+def run(program, n_ranks=2, network=FAST):
+    return Simulator(n_ranks, network=network).run(program)
+
+
+class TestNonblocking:
+    def test_irecv_then_wait(self):
+        received = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.compute(0.2)
+                yield from comm.send(1, 50)
+            else:
+                request = yield from comm.irecv(0)
+                yield from comm.compute(0.1)          # overlap
+                message = yield from comm.wait(request)
+                received["message"] = message
+                received["clock"] = yield from comm.elapsed()
+
+        run(program)
+        assert received["message"].nbytes == 50
+        # Arrival 0.2 + 1ms + 50us; overlap finished earlier at 0.1.
+        assert received["clock"] == pytest.approx(0.2 + 1e-3 + 5e-5)
+
+    def test_wait_after_completion_is_cheap(self):
+        clocks = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 50)
+            else:
+                request = yield from comm.irecv(0)
+                yield from comm.compute(1.0)          # message long since there
+                message = yield from comm.wait(request)
+                clocks["after"] = yield from comm.elapsed()
+                assert message.nbytes == 50
+
+        run(program)
+        assert clocks["after"] == pytest.approx(1.0)
+
+    def test_isend_rendezvous_overlap(self):
+        clocks = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                request = yield from comm.isend(1, 10 ** 6)    # rendezvous
+                yield from comm.compute(0.5)                   # overlap
+                yield from comm.wait(request)
+                clocks["sender"] = yield from comm.elapsed()
+            else:
+                yield from comm.compute(0.2)
+                yield from comm.recv(0)
+
+        run(program)
+        # Transfer: start max(0, 0.2), cost 1ms + 1s/1e6*1e6... 1e6/1e6 = 1s.
+        # Done at 0.2 + 1e-3 + 1.0; sender waited from 0.5.
+        assert clocks["sender"] == pytest.approx(0.2 + 1e-3 + 1.0)
+
+    def test_waitall_returns_messages_in_order(self):
+        collected = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 10, tag=1)
+                yield from comm.send(1, 20, tag=2)
+            else:
+                first = yield from comm.irecv(0, 1)
+                second = yield from comm.irecv(0, 2)
+                messages = yield from comm.waitall([second, first])
+                collected["sizes"] = [m.nbytes for m in messages]
+
+        run(program)
+        assert collected["sizes"] == [20, 10]
+
+    def test_request_completed_flag(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 50)
+            else:
+                request = yield from comm.irecv(0)
+                yield from comm.compute(1.0)
+                assert request.completed        # resolved during compute
+                yield from comm.wait(request)
+
+        run(program)
+
+    def test_waiting_on_foreign_request_rejected(self):
+        stash = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                request = yield from comm.isend(1, 50)
+                stash["request"] = request
+                yield from comm.wait(request)
+                yield from comm.barrier()
+            else:
+                yield from comm.recv(0)
+                yield from comm.barrier()
+                yield from comm.wait(stash["request"])    # not ours
+
+        with pytest.raises(CommunicatorError):
+            run(program)
+
+    def test_isend_eager_completes_immediately(self):
+        def program(comm):
+            if comm.rank == 0:
+                request = yield from comm.isend(1, 10)
+                assert request.completed
+                yield from comm.wait(request)
+            else:
+                yield from comm.recv(0)
+
+        run(program)

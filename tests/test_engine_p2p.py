@@ -1,0 +1,199 @@
+"""Unit tests for point-to-point semantics and timing of the engine."""
+
+import pytest
+
+from repro.errors import CommunicatorError, DeadlockError
+from repro.simmpi import ANY_SOURCE, ANY_TAG, NetworkModel, Simulator
+
+FAST = NetworkModel(latency=1e-3, bandwidth=1e6, overhead=0.0,
+                    eager_threshold=100)
+
+
+def run(program, n_ranks=2, network=FAST):
+    return Simulator(n_ranks, network=network).run(program)
+
+
+class TestBlockingPingPong:
+    def test_message_content(self):
+        received = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 50, tag=7)
+            else:
+                message = yield from comm.recv(0, 7)
+                received["message"] = message
+
+        run(program)
+        message = received["message"]
+        assert (message.source, message.tag, message.nbytes) == (0, 7, 50)
+
+    def test_eager_sender_does_not_wait(self):
+        clocks = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 50)          # eager (<= 100)
+                clocks["sender"] = yield from comm.elapsed()
+            else:
+                yield from comm.compute(1.0)         # receiver busy
+                yield from comm.recv(0)
+                clocks["receiver"] = yield from comm.elapsed()
+
+        run(program)
+        assert clocks["sender"] == pytest.approx(0.0)
+        # Receiver finds the message already buffered at t=1.0.
+        assert clocks["receiver"] == pytest.approx(1.0)
+
+    def test_rendezvous_sender_waits_for_receiver(self):
+        clocks = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 1000)        # rendezvous (> 100)
+                clocks["sender"] = yield from comm.elapsed()
+            else:
+                yield from comm.compute(1.0)
+                yield from comm.recv(0)
+                clocks["receiver"] = yield from comm.elapsed()
+
+        run(program)
+        # Transfer starts at max(0, 1.0) = 1.0; costs 1ms + 1ms.
+        assert clocks["sender"] == pytest.approx(1.0 + 2e-3)
+        assert clocks["receiver"] == pytest.approx(1.0 + 2e-3)
+
+    def test_receiver_waits_for_eager_arrival(self):
+        clocks = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.compute(0.5)
+                yield from comm.send(1, 50)
+            else:
+                message = yield from comm.recv(0)
+                clocks["receiver"] = yield from comm.elapsed()
+                assert message.nbytes == 50
+
+        run(program)
+        # Arrival = 0.5 + latency 1ms + 50/1e6.
+        assert clocks["receiver"] == pytest.approx(0.5 + 1e-3 + 5e-5)
+
+
+class TestMatching:
+    def test_fifo_per_pair(self):
+        order = []
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 10, tag=1)
+                yield from comm.send(1, 20, tag=1)
+            else:
+                first = yield from comm.recv(0, 1)
+                second = yield from comm.recv(0, 1)
+                order.extend([first.nbytes, second.nbytes])
+
+        run(program)
+        assert order == [10, 20]
+
+    def test_tag_selective(self):
+        order = []
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 10, tag=1)
+                yield from comm.send(1, 20, tag=2)
+            else:
+                high = yield from comm.recv(0, 2)
+                low = yield from comm.recv(0, 1)
+                order.extend([high.nbytes, low.nbytes])
+
+        run(program)
+        assert order == [20, 10]
+
+    def test_any_source_any_tag(self):
+        seen = []
+
+        def program(comm):
+            if comm.rank == 2:
+                for _ in range(2):
+                    message = yield from comm.recv(ANY_SOURCE, ANY_TAG)
+                    seen.append(message.source)
+            else:
+                yield from comm.compute(0.1 * (comm.rank + 1))
+                yield from comm.send(2, 10, tag=comm.rank)
+
+        run(program, n_ranks=3)
+        assert sorted(seen) == [0, 1]
+
+    def test_sendrecv_exchange(self):
+        values = {}
+
+        def program(comm):
+            partner = 1 - comm.rank
+            message = yield from comm.sendrecv(partner, 10 + comm.rank,
+                                               partner)
+            values[comm.rank] = message.nbytes
+
+        run(program)
+        assert values == {0: 11, 1: 10}
+
+
+class TestValidation:
+    def test_send_to_self_rejected(self):
+        def program(comm):
+            yield from comm.send(comm.rank, 10)
+
+        with pytest.raises(CommunicatorError):
+            run(program)
+
+    def test_peer_out_of_range(self):
+        def program(comm):
+            yield from comm.send(5, 10)
+
+        with pytest.raises(CommunicatorError):
+            run(program)
+
+    def test_negative_tag_rejected(self):
+        def program(comm):
+            yield from comm.send(1 - comm.rank, 10, tag=-2)
+
+        with pytest.raises(CommunicatorError):
+            run(program)
+
+    def test_user_tag_in_internal_space_rejected(self):
+        from repro.simmpi import INTERNAL_TAG_BASE
+
+        def program(comm):
+            yield from comm.send(1 - comm.rank, 10, tag=INTERNAL_TAG_BASE)
+
+        with pytest.raises(CommunicatorError):
+            run(program)
+
+
+class TestDeadlock:
+    def test_mutual_rendezvous_sends_deadlock(self):
+        def program(comm):
+            partner = 1 - comm.rank
+            yield from comm.send(partner, 10 ** 6)   # both rendezvous
+            yield from comm.recv(partner)
+
+        with pytest.raises(DeadlockError) as info:
+            run(program)
+        assert "blocked" in str(info.value)
+
+    def test_recv_without_send_deadlocks(self):
+        def program(comm):
+            if comm.rank == 1:
+                yield from comm.recv(0)
+
+        with pytest.raises(DeadlockError):
+            run(program)
+
+    def test_eager_mutual_sends_do_not_deadlock(self):
+        def program(comm):
+            partner = 1 - comm.rank
+            yield from comm.send(partner, 10)        # both eager
+            yield from comm.recv(partner)
+
+        result = run(program)
+        assert result.messages == 2

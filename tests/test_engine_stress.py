@@ -1,0 +1,150 @@
+"""Stress and property tests for the simulator engine.
+
+Random — but SPMD-consistent — programs must always terminate without
+deadlock, produce causally consistent clocks, and be bit-for-bit
+deterministic across runs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instrument import Tracer
+from repro.simmpi import NetworkModel, Simulator
+
+FAST = NetworkModel(latency=1e-5, bandwidth=1e8, overhead=1e-7,
+                    eager_threshold=4096)
+
+#: One random SPMD step: (kind, parameter).
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("compute"),
+                  st.floats(min_value=0.0, max_value=1e-3)),
+        st.tuples(st.just("allreduce"),
+                  st.integers(min_value=0, max_value=1 << 16)),
+        st.tuples(st.just("barrier"), st.just(0)),
+        st.tuples(st.just("bcast"), st.integers(0, 1 << 14)),
+        st.tuples(st.just("reduce"), st.integers(0, 1 << 14)),
+        st.tuples(st.just("alltoall"), st.integers(0, 1 << 10)),
+        st.tuples(st.just("ring"), st.integers(0, 1 << 14)),
+        st.tuples(st.just("reduce_scatter"), st.integers(0, 1 << 12)),
+        st.tuples(st.just("scan"), st.integers(0, 1 << 12)),
+    ),
+    min_size=1, max_size=12)
+
+
+def spmd_program(comm, script, rank_skew):
+    with comm.region("random"):
+        for kind, parameter in script:
+            if kind == "compute":
+                yield from comm.compute(
+                    parameter * (1.0 + rank_skew * comm.rank))
+            elif kind == "allreduce":
+                yield from comm.allreduce(parameter)
+            elif kind == "barrier":
+                yield from comm.barrier()
+            elif kind == "bcast":
+                yield from comm.bcast(0, parameter)
+            elif kind == "reduce":
+                yield from comm.reduce(comm.size - 1, parameter)
+            elif kind == "alltoall":
+                yield from comm.alltoall(parameter)
+            elif kind == "ring":
+                right = (comm.rank + 1) % comm.size
+                left = (comm.rank - 1) % comm.size
+                if comm.size > 1:
+                    yield from comm.sendrecv(right, parameter, left)
+            elif kind == "reduce_scatter":
+                yield from comm.reduce_scatter(parameter)
+            elif kind == "scan":
+                yield from comm.scan(parameter)
+
+
+class TestRandomSPMDPrograms:
+    @settings(max_examples=60, deadline=None)
+    @given(steps, st.integers(min_value=1, max_value=12),
+           st.floats(min_value=0.0, max_value=0.5))
+    def test_terminates_with_consistent_clocks(self, script, n_ranks,
+                                               rank_skew):
+        result = Simulator(n_ranks, network=FAST).run(
+            spmd_program, script, rank_skew)
+        assert all(clock >= 0.0 for clock in result.clocks)
+        # Pure compute lower bound for rank 0.
+        compute_total = sum(parameter for kind, parameter in script
+                            if kind == "compute")
+        assert result.clocks[0] >= compute_total - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(steps, st.integers(min_value=2, max_value=8))
+    def test_bitwise_determinism(self, script, n_ranks):
+        first_events = []
+        second_events = []
+        Simulator(n_ranks, network=FAST,
+                  trace_sink=lambda *args: first_events.append(args)
+                  ).run(spmd_program, script, 0.25)
+        Simulator(n_ranks, network=FAST,
+                  trace_sink=lambda *args: second_events.append(args)
+                  ).run(spmd_program, script, 0.25)
+        assert first_events == second_events
+
+    @settings(max_examples=30, deadline=None)
+    @given(steps, st.integers(min_value=2, max_value=8))
+    def test_trace_is_gap_free(self, script, n_ranks):
+        tracer = Tracer()
+        result = Simulator(n_ranks, network=FAST,
+                           trace_sink=tracer.record).run(
+            spmd_program, script, 0.25)
+        for rank in range(n_ranks):
+            events = sorted(tracer.events_of(rank),
+                            key=lambda event: event.begin)
+            clock = 0.0
+            for event in events:
+                assert event.begin == pytest.approx(clock, abs=1e-9)
+                clock = event.end
+            assert clock == pytest.approx(result.clocks[rank], abs=1e-9)
+
+
+class TestManyRanks:
+    def test_collective_storm_at_p128(self):
+        def program(comm):
+            yield from comm.compute(1e-5 * (comm.rank % 7))
+            yield from comm.allreduce(1024)
+            yield from comm.barrier()
+            yield from comm.bcast(0, 4096)
+            yield from comm.reduce(0, 4096)
+
+        result = Simulator(128, network=FAST).run(program)
+        assert result.messages > 128 * 4
+
+    def test_p2p_mesh(self):
+        """Every rank exchanges with every other rank, tag-disambiguated;
+        must complete without deadlock under eager sends."""
+        def program(comm):
+            requests = []
+            for peer in range(comm.size):
+                if peer != comm.rank:
+                    request = yield from comm.irecv(peer, tag=comm.rank)
+                    requests.append(request)
+            for peer in range(comm.size):
+                if peer != comm.rank:
+                    yield from comm.send(peer, 128, tag=peer)
+            yield from comm.waitall(requests)
+
+        result = Simulator(24, network=FAST).run(program)
+        assert result.messages == 24 * 23
+
+    def test_long_chain(self):
+        """A 1000-hop token pass exercises deep sequential matching."""
+        def program(comm):
+            hops = 1000
+            for hop in range(hops):
+                owner = hop % comm.size
+                target = (hop + 1) % comm.size
+                if comm.rank == owner:
+                    yield from comm.send(target, 8, tag=5)
+                elif comm.rank == target:
+                    yield from comm.recv(owner, tag=5)
+
+        result = Simulator(4, network=FAST).run(program)
+        assert result.messages == 1000

@@ -1,0 +1,96 @@
+"""Property tests of the engine's timing model (causality/monotonicity).
+
+If the cost model is causal, making any single thing slower can never
+make anything finish earlier.  Hypothesis searches for violations:
+
+* increasing one rank's compute duration never decreases any clock;
+* increasing latency or decreasing bandwidth never decreases the
+  elapsed time;
+* adding a barrier never decreases any clock;
+* the eager threshold changes *protocol*, not causality: every clock
+  stays at least the pure-compute lower bound either way.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import NetworkModel, Simulator
+
+
+def ring_program(comm, works, nbytes, with_barrier=False):
+    with comm.region("r"):
+        yield from comm.compute(works[comm.rank % len(works)])
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        if comm.size > 1:
+            yield from comm.sendrecv(right, nbytes, left)
+        yield from comm.allreduce(nbytes // 2)
+        if with_barrier:
+            yield from comm.barrier()
+
+
+def clocks_of(works, nbytes, network, with_barrier=False, n_ranks=5):
+    result = Simulator(n_ranks, network=network).run(
+        ring_program, list(works), nbytes, with_barrier)
+    return result.clocks
+
+
+works_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=5e-3), min_size=5, max_size=5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(works_strategy,
+       st.integers(min_value=0, max_value=4),
+       st.floats(min_value=1e-5, max_value=5e-3),
+       st.integers(min_value=0, max_value=1 << 16))
+def test_more_compute_never_speeds_anything_up(works, which, extra, nbytes):
+    network = NetworkModel(latency=2e-5, bandwidth=5e7, overhead=1e-6,
+                           eager_threshold=4096)
+    baseline = clocks_of(works, nbytes, network)
+    slower_works = list(works)
+    slower_works[which] += extra
+    slower = clocks_of(slower_works, nbytes, network)
+    for before, after in zip(baseline, slower):
+        assert after >= before - 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(works_strategy,
+       st.floats(min_value=1e-5, max_value=1e-3),
+       st.floats(min_value=1.0, max_value=10.0),
+       st.integers(min_value=1, max_value=1 << 16))
+def test_worse_network_never_speeds_the_run_up(works, latency, slowdown,
+                                               nbytes):
+    fast = NetworkModel(latency=latency, bandwidth=5e7, overhead=1e-6,
+                        eager_threshold=4096)
+    slow = NetworkModel(latency=latency * slowdown,
+                        bandwidth=5e7 / slowdown, overhead=1e-6,
+                        eager_threshold=4096)
+    fast_elapsed = max(clocks_of(works, nbytes, fast))
+    slow_elapsed = max(clocks_of(works, nbytes, slow))
+    assert slow_elapsed >= fast_elapsed - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(works_strategy, st.integers(min_value=0, max_value=1 << 14))
+def test_barrier_never_decreases_clocks(works, nbytes):
+    network = NetworkModel(latency=2e-5, bandwidth=5e7, overhead=1e-6,
+                           eager_threshold=4096)
+    plain = clocks_of(works, nbytes, network, with_barrier=False)
+    with_barrier = clocks_of(works, nbytes, network, with_barrier=True)
+    for before, after in zip(plain, with_barrier):
+        assert after >= before - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(works_strategy, st.integers(min_value=0, max_value=1 << 15),
+       st.sampled_from([0, 256, 1 << 20]))
+def test_compute_lower_bound_holds_under_any_protocol(works, nbytes,
+                                                      threshold):
+    network = NetworkModel(latency=2e-5, bandwidth=5e7, overhead=1e-6,
+                           eager_threshold=threshold)
+    clocks = clocks_of(works, nbytes, network)
+    for rank, clock in enumerate(clocks):
+        assert clock >= works[rank % len(works)] - 1e-12

@@ -1,0 +1,139 @@
+"""Edge and error-path tests across modules.
+
+Small behaviours that the mainline tests don't reach: the exception
+hierarchy, engine misuse, renderer edge cases, and API misuse that must
+fail loudly rather than corrupt an analysis.
+"""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.core import MeasurementSet, analyze
+from repro.simmpi import (Communicator, Engine, NetworkModel, Simulator)
+
+FAST = NetworkModel(latency=1e-5, bandwidth=1e8, overhead=0.0,
+                    eager_threshold=1024)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_deadlock_is_simulation_error(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+    def test_catching_the_base_class_works(self):
+        def bad(comm):
+            yield from comm.send(99, 10)
+
+        with pytest.raises(errors.ReproError):
+            Simulator(2, network=FAST).run(bad)
+
+
+class TestEngineMisuse:
+    def test_unknown_yielded_object(self):
+        def weird(comm):
+            yield "not an operation"
+
+        with pytest.raises(errors.SimulationError):
+            Simulator(1, network=FAST).run(weird)
+
+    def test_negative_compute_rejected(self):
+        def negative(comm):
+            yield from comm.compute(-1.0)
+
+        with pytest.raises(errors.SimulationError):
+            Simulator(1, network=FAST).run(negative)
+
+    def test_negative_message_size_rejected(self):
+        def negative(comm):
+            yield from comm.send(1, -5)
+
+        with pytest.raises(errors.CommunicatorError):
+            Simulator(2, network=FAST).run(negative)
+
+    def test_engine_generator_count_checked(self):
+        engine = Engine(3, FAST)
+        with pytest.raises(errors.SimulationError):
+            engine.run([iter(())])
+
+    def test_communicator_validation(self):
+        with pytest.raises(errors.CommunicatorError):
+            Communicator(5, 2)
+        with pytest.raises(errors.CommunicatorError):
+            Communicator(-1, 2)
+
+    def test_region_name_must_be_nonempty(self):
+        def program(comm):
+            with comm.region(""):
+                yield from comm.compute(0.1)
+
+        with pytest.raises(errors.CommunicatorError):
+            Simulator(1, network=FAST).run(program)
+
+
+class TestRendererEdges:
+    def test_report_time_formatting(self):
+        from repro.core.report import _format_index, _format_time
+        assert _format_time(0.0) == "-"
+        assert _format_time(19.051) == "19.051"
+        assert _format_time(12.24) == "12.24"
+        assert _format_index(float("nan")) == "-"
+        assert _format_index(0.25754) == "0.25754"
+
+    def test_single_region_single_processor_analysis(self):
+        times = np.full((1, 1, 1), 2.0)
+        ms = MeasurementSet(times)
+        analysis = analyze(ms, cluster_count=None)
+        # A single processor is trivially balanced.
+        assert analysis.region_view.index[0] == pytest.approx(0.0)
+        assert analysis.processor_view.dispersion[0, 0] == \
+            pytest.approx(0.0)
+
+    def test_cluster_count_larger_than_regions(self):
+        times = np.ones((2, 1, 4))
+        ms = MeasurementSet(times)
+        analysis = analyze(ms, cluster_count=5)
+        # Clustering is skipped; one group with every region.
+        assert analysis.region_clusters == (tuple(ms.regions),)
+
+    def test_elapsed_inside_region_adds_no_events(self):
+        from repro.instrument import Tracer
+        tracer = Tracer()
+
+        def program(comm):
+            with comm.region("r"):
+                clock = yield from comm.elapsed()
+                assert clock == 0.0
+                yield from comm.compute(0.1)
+
+        Simulator(1, network=FAST, trace_sink=tracer.record).run(program)
+        assert len(tracer) == 1
+
+
+class TestMeasurementEdges:
+    def test_single_processor_dispersion_is_zero(self):
+        from repro.core import dispersion_matrix
+        ms = MeasurementSet(np.full((2, 2, 1), 3.0))
+        matrix = dispersion_matrix(ms)
+        assert np.all(np.nan_to_num(matrix) == 0.0)
+
+    def test_all_zero_region_row(self):
+        times = np.zeros((2, 2, 3))
+        times[0] = 1.0
+        ms = MeasurementSet(times)
+        analysis = analyze(ms, cluster_count=None)
+        # Region 2 performed nothing: nan index, never a candidate.
+        assert np.isnan(analysis.region_view.index[1])
+        assert ms.regions[1] not in analysis.tuning_candidates
+
+    def test_total_time_slack_for_rounded_inputs(self):
+        # total_time within float tolerance below covered is accepted.
+        times = np.full((1, 1, 2), 1.0)
+        ms = MeasurementSet(times, total_time=1.0 - 1e-12)
+        assert ms.coverage == pytest.approx(1.0)

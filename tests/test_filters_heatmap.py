@@ -1,0 +1,150 @@
+"""Tests for trace filters/merging and the share heatmap."""
+
+import numpy as np
+import pytest
+
+from repro.core import MeasurementSet
+from repro.errors import MeasurementError, TraceError
+from repro.instrument import (Tracer, TraceEvent, filter_activities,
+                              filter_events, filter_ranks, filter_regions,
+                              filter_time, merge, profile, relabel_region,
+                              shift_time)
+from repro.viz import render_heatmap
+
+
+def make_tracer():
+    tracer = Tracer()
+    tracer.record(0, "a", "computation", 0.0, 1.0)
+    tracer.record(0, "b", "point-to-point", 1.0, 2.0, kind="send",
+                  nbytes=10, partner=1)
+    tracer.record(1, "a", "computation", 0.0, 1.5)
+    tracer.record(1, "b", "collective", 1.5, 2.5, kind="recv")
+    return tracer
+
+
+class TestFilters:
+    def test_filter_events_predicate(self):
+        result = filter_events(make_tracer(),
+                               lambda event: event.duration > 1.0)
+        assert len(result) == 1
+        assert result.events[0].rank == 1
+
+    def test_filter_regions(self):
+        result = filter_regions(make_tracer(), ["a"])
+        assert result.regions() == ("a",)
+        assert len(result) == 2
+
+    def test_filter_activities(self):
+        result = filter_activities(make_tracer(), ["computation"])
+        assert result.activities() == ("computation",)
+
+    def test_filter_ranks(self):
+        result = filter_ranks(make_tracer(), [1])
+        assert all(event.rank == 1 for event in result.events)
+
+    def test_filter_time_clips(self):
+        result = filter_time(make_tracer(), 0.5, 1.25)
+        durations = sorted(round(event.duration, 6)
+                           for event in result.events)
+        # rank0 'a' clipped to [0.5,1.0], 'b' to [1.0,1.25];
+        # rank1 'a' clipped to [0.5,1.25].
+        assert durations == [0.25, 0.5, 0.75]
+
+    def test_filter_time_no_clip_keeps_whole_events(self):
+        result = filter_time(make_tracer(), 0.5, 1.25, clip=False)
+        assert any(event.duration == 1.5 for event in result.events)
+
+    def test_filter_time_validation(self):
+        with pytest.raises(TraceError):
+            filter_time(make_tracer(), 1.0, 1.0)
+
+    def test_shift_time(self):
+        result = shift_time(make_tracer(), 10.0)
+        assert min(event.begin for event in result.events) == 10.0
+        with pytest.raises(TraceError):
+            shift_time(make_tracer(), -1.0)
+
+    def test_relabel_region(self):
+        result = relabel_region(make_tracer(), "a", "alpha")
+        assert "alpha" in result.regions()
+        assert "a" not in result.regions()
+
+    def test_inputs_not_mutated(self):
+        tracer = make_tracer()
+        filter_regions(tracer, ["a"])
+        assert len(tracer) == 4
+
+
+class TestMerge:
+    def test_plain_merge(self):
+        merged = merge([make_tracer(), make_tracer()])
+        assert len(merged) == 8
+        assert merged.n_ranks == 2
+
+    def test_merge_with_rank_offsets(self):
+        merged = merge([make_tracer(), make_tracer()],
+                       rank_offsets=[0, 2])
+        assert merged.n_ranks == 4
+        # Partner ids are shifted too.
+        shifted = [event for event in merged.events
+                   if event.rank == 2 and event.partner >= 0]
+        assert shifted and shifted[0].partner == 3
+
+    def test_merged_profile_consistent(self):
+        merged = merge([make_tracer(), make_tracer()],
+                       rank_offsets=[0, 2])
+        measurements = profile(merged)
+        single = profile(make_tracer())
+        i = measurements.region_index("a")
+        j = measurements.activity_index("computation")
+        np.testing.assert_allclose(
+            measurements.times[i, j, :2], single.times[
+                single.region_index("a"),
+                single.activity_index("computation"), :])
+
+    def test_offset_count_checked(self):
+        with pytest.raises(TraceError):
+            merge([make_tracer()], rank_offsets=[0, 1])
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(TraceError):
+            merge([make_tracer()], rank_offsets=[-1])
+
+
+class TestHeatmap:
+    @pytest.fixture()
+    def measurements(self):
+        times = np.zeros((2, 2, 4))
+        times[0, 0] = [1.0, 1.0, 1.0, 1.0]       # balanced
+        times[1, 0] = [4.0, 0.1, 1.0, 1.0]       # hot rank 0, cold rank 1
+        return MeasurementSet(times, regions=("even", "skew"),
+                              activities=("computation", "p2p"))
+
+    def test_balanced_row_is_colons(self, measurements):
+        text = render_heatmap(measurements)
+        row = [line for line in text.splitlines()
+               if line.startswith("even")][0]
+        assert "|::::|" in row
+
+    def test_hot_and_cold_shades(self, measurements):
+        text = render_heatmap(measurements)
+        row = [line for line in text.splitlines()
+               if line.startswith("skew")][0]
+        cells = row.split("|")[1]
+        assert cells[0] == "#"        # 4/6.1 vs 0.25 -> >150%
+        assert cells[1] == " "        # far below 50%
+
+    def test_activity_selection(self, measurements):
+        text = render_heatmap(measurements, activity="computation")
+        assert "computation" in text
+
+    def test_empty_slice_rejected(self, measurements):
+        with pytest.raises(MeasurementError):
+            render_heatmap(measurements, activity="p2p")
+
+    def test_paper_heatmap_shows_loop6_boundary(self, paper_measurements):
+        text = render_heatmap(paper_measurements)
+        loop6 = [line for line in text.splitlines()
+                 if line.startswith("loop 6")][0]
+        # The four hot boundary ranks stand out.
+        assert loop6.count("*") + loop6.count("#") >= 4

@@ -1,0 +1,21 @@
+"""Golden-file regression test: the full report of the reconstructed
+paper dataset must stay byte-identical.
+
+The reconstruction, the analysis and the rendering are all
+deterministic, so any diff here means a behaviour change in one of
+them; update `docs/paper_report.txt` deliberately if the change is
+intended (`python -c "..."` recipe in the file's git history).
+"""
+
+from pathlib import Path
+
+from repro.core import analyze, render_full_report
+
+GOLDEN = Path(__file__).resolve().parent.parent / "docs" / "paper_report.txt"
+
+
+def test_paper_report_matches_golden_file(paper_measurements):
+    rendered = render_full_report(analyze(paper_measurements)) + "\n"
+    assert rendered == GOLDEN.read_text(), (
+        "rendered report drifted from docs/paper_report.txt; "
+        "regenerate the golden file if the change is intentional")

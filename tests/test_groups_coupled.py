@@ -1,0 +1,283 @@
+"""Tests for communicator groups and the coupled multi-physics workload."""
+
+import numpy as np
+import pytest
+
+from repro.apps import COUPLED_REGIONS, CoupledConfig, run_coupled
+from repro.errors import CommunicatorError, WorkloadError
+from repro.instrument import Tracer, lint_trace
+from repro.simmpi import ANY_SOURCE, GroupCommunicator, NetworkModel, Simulator
+
+FAST = NetworkModel(latency=1e-5, bandwidth=1e8, overhead=1e-7,
+                    eager_threshold=4096)
+
+
+def run(program, n_ranks=8):
+    return Simulator(n_ranks, network=FAST).run(program)
+
+
+class TestGroupBasics:
+    def test_split_partitions_and_orders(self):
+        seen = {}
+
+        def program(comm):
+            group = comm.split(lambda rank: rank % 2)
+            seen[comm.rank] = (group.rank, group.size, group.members)
+            yield from comm.compute(0.0)
+
+        run(program, 6)
+        assert seen[0] == (0, 3, (0, 2, 4))
+        assert seen[3] == (1, 3, (1, 3, 5))
+
+    def test_group_p2p_translates_ranks(self):
+        received = {}
+
+        def program(comm):
+            group = comm.split(lambda rank: rank % 2)
+            if group.rank == 0:
+                yield from group.send(1, 64 + comm.rank)
+            elif group.rank == 1:
+                message = yield from group.recv(0)
+                received[comm.rank] = (message.source, message.nbytes)
+
+        run(program, 4)
+        # Global rank 2 receives from global rank 0; 3 from 1.
+        assert received[2] == (0, 64)
+        assert received[3] == (1, 65)
+
+    def test_group_collective_stays_inside(self):
+        after = {}
+
+        def program(comm):
+            group = comm.split(lambda rank: "a" if rank < 2 else "b")
+            if comm.rank >= 2:
+                yield from comm.compute(1.0)       # group b is busy
+            yield from group.allreduce(256)
+            after[comm.rank] = yield from comm.elapsed()
+
+        run(program, 4)
+        # Group a's allreduce does NOT wait for group b.
+        assert after[0] < 0.5 and after[1] < 0.5
+        assert after[2] >= 1.0
+
+    def test_group_barrier_scopes(self):
+        after = {}
+
+        def program(comm):
+            group = comm.split(lambda rank: rank < 2)
+            if comm.rank == 0:
+                yield from comm.compute(1.0)
+            yield from group.barrier()
+            after[comm.rank] = yield from comm.elapsed()
+
+        run(program, 4)
+        assert after[1] >= 1.0          # same group as the slow rank
+        assert after[2] < 0.5           # other group unaffected
+
+    def test_singleton_group(self):
+        def program(comm):
+            group = comm.split(lambda rank: rank)      # every rank alone
+            assert group.size == 1
+            yield from group.barrier()
+            yield from group.allreduce(128)
+
+        result = run(program, 3)
+        assert result.messages == 0
+
+    def test_any_source_rejected_on_group(self):
+        def program(comm):
+            group = comm.split(lambda rank: rank % 2)
+            if group.rank == 1:
+                yield from group.recv(ANY_SOURCE)
+            else:
+                yield from group.send(1, 10)
+
+        with pytest.raises(CommunicatorError):
+            run(program, 4)
+
+    def test_group_root_validation(self):
+        def program(comm):
+            group = comm.split(lambda rank: rank % 2)
+            yield from group.bcast(5, 128)      # group has only 2 members
+
+        with pytest.raises(CommunicatorError):
+            run(program, 4)
+
+    def test_membership_validation(self):
+        from repro.simmpi import Communicator
+        parent = Communicator(0, 4)
+        with pytest.raises(CommunicatorError):
+            GroupCommunicator(parent, [1, 2])       # caller not a member
+        with pytest.raises(CommunicatorError):
+            GroupCommunicator(parent, [0, 0, 1])    # duplicate
+        with pytest.raises(CommunicatorError):
+            GroupCommunicator(parent, [0, 9])       # out of range
+
+    def test_group_traffic_carries_region_context(self):
+        tracer = Tracer()
+
+        def program(comm):
+            group = comm.split(lambda rank: rank % 2)
+            with comm.region("phase"):
+                yield from group.allreduce(512)
+
+        Simulator(4, network=FAST, trace_sink=tracer.record).run(program)
+        assert all(event.region == "phase" for event in tracer.events)
+
+    def test_group_traces_lint_clean(self):
+        tracer = Tracer()
+
+        def program(comm):
+            group = comm.split(lambda rank: rank < comm.size // 2)
+            with comm.region("r"):
+                yield from group.alltoall(128)
+                yield from group.reduce(0, 256)
+                yield from comm.barrier()
+
+        Simulator(8, network=FAST, trace_sink=tracer.record).run(program)
+        assert lint_trace(tracer) == ()
+
+
+class TestCoupledWorkload:
+    @pytest.fixture(scope="class")
+    def balanced(self):
+        return run_coupled(CoupledConfig(imbalance_ratio=1.0), 16)
+
+    @pytest.fixture(scope="class")
+    def skewed(self):
+        return run_coupled(CoupledConfig(imbalance_ratio=1.8), 16)
+
+    def test_regions(self, skewed):
+        assert skewed[2].regions == COUPLED_REGIONS
+
+    def test_solve_regions_are_group_exclusive(self, skewed):
+        _, _, measurements = skewed
+        fluid = measurements.region_index("fluid solve")
+        structure = measurements.region_index("structure solve")
+        totals_fluid = measurements.times[fluid].sum(axis=0)
+        totals_structure = measurements.times[structure].sum(axis=0)
+        assert np.all(totals_fluid[8:] == 0.0)
+        assert np.all(totals_structure[:8] == 0.0)
+
+    def test_fast_group_waits_at_the_coupling(self, skewed):
+        _, _, measurements = skewed
+        couple = measurements.region_index("couple")
+        totals = measurements.times[couple].sum(axis=0)
+        structure_wait = totals[8:].mean()
+        fluid_wait = totals[:8].mean()
+        assert structure_wait > fluid_wait * 1.2
+
+    def test_balanced_coupling_is_cheap(self, balanced, skewed):
+        couple_balanced = balanced[2].region_times[
+            balanced[2].region_index("couple")]
+        couple_skewed = skewed[2].region_times[
+            skewed[2].region_index("couple")]
+        assert couple_skewed > couple_balanced
+
+    def test_waiting_grows_with_the_ratio(self):
+        waits = []
+        for ratio in (1.0, 1.5, 2.0):
+            _, _, measurements = run_coupled(
+                CoupledConfig(imbalance_ratio=ratio), 8)
+            couple = measurements.region_index("couple")
+            waits.append(measurements.times[couple].sum(axis=0)[4:].mean())
+        assert waits[0] < waits[1] < waits[2]
+
+    def test_lint_clean(self, skewed):
+        assert lint_trace(skewed[1]) == ()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            CoupledConfig(fluid_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            CoupledConfig(imbalance_ratio=0.0)
+
+    def test_deterministic(self):
+        first = run_coupled(CoupledConfig(steps=2), 8)
+        second = run_coupled(CoupledConfig(steps=2), 8)
+        np.testing.assert_array_equal(first[2].times, second[2].times)
+
+
+class TestNestedGroups:
+    def test_split_of_split_translates_to_global(self):
+        received = {}
+
+        def program(comm):
+            # First split: halves {0..3}, {4..7}; second split: parity
+            # within each half.
+            half = comm.split(lambda rank: rank < comm.size // 2)
+            quarter = half.split(lambda rank: rank % 2)
+            if quarter.size == 2:
+                if quarter.rank == 0:
+                    yield from quarter.send(1, 100 + comm.rank)
+                else:
+                    message = yield from quarter.recv(0)
+                    received[comm.rank] = (message.source, message.nbytes)
+
+        Simulator(8, network=FAST).run(program)
+        # Global even ranks of each half pair up: 0->2, 1->3, 4->6, 5->7.
+        assert received[2] == (0, 100)
+        assert received[3] == (1, 101)
+        assert received[6] == (4, 104)
+        assert received[7] == (5, 105)
+
+    def test_nested_collective_scopes(self):
+        after = {}
+
+        def program(comm):
+            half = comm.split(lambda rank: rank < comm.size // 2)
+            quarter = half.split(lambda rank: rank % 2)
+            if comm.rank == 0:
+                yield from comm.compute(1.0)
+            yield from quarter.barrier()
+            after[comm.rank] = yield from comm.elapsed()
+
+        Simulator(8, network=FAST).run(program)
+        # Only rank 0's quarter ({0, 2}) waits for it.
+        assert after[2] >= 1.0
+        assert after[1] < 0.5 and after[4] < 0.5
+
+    def test_nested_groups_lint_clean(self):
+        tracer = Tracer()
+
+        def program(comm):
+            half = comm.split(lambda rank: rank < comm.size // 2)
+            quarter = half.split(lambda rank: rank % 2)
+            with comm.region("nested"):
+                yield from quarter.allreduce(512)
+                yield from half.allreduce(512)
+                yield from comm.barrier()
+
+        Simulator(8, network=FAST, trace_sink=tracer.record).run(program)
+        assert lint_trace(tracer) == ()
+        assert all(event.region == "nested" for event in tracer.events)
+
+
+class TestGroupProperties:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=4,
+                    max_size=10))
+    def test_random_partitions_run_clean(self, colors):
+        """Any SPMD color partition yields a deadlock-free run whose
+        trace passes every lint invariant, and group collectives touch
+        only intra-group pairs."""
+        def program(comm):
+            group = comm.split(lambda rank: colors[rank])
+            with comm.region("r"):
+                yield from comm.compute(1e-4 * (comm.rank + 1))
+                yield from group.allreduce(256)
+                yield from group.barrier()
+                yield from comm.barrier()
+
+        tracer = Tracer()
+        Simulator(len(colors), network=FAST,
+                  trace_sink=tracer.record).run(program)
+        assert lint_trace(tracer) == ()
+        # No pre-global-barrier p2p message crosses a color boundary.
+        for event in tracer.events:
+            if event.kind == "send" and event.partner >= 0 and \
+                    event.activity in ("collective",):
+                assert colors[event.rank] == colors[event.partner]

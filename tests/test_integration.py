@@ -1,0 +1,151 @@
+"""Integration tests: the full pipeline, end to end.
+
+simulate -> trace -> (write/read trace file) -> profile -> methodology,
+plus the comparison between the methodology and the threshold-search
+baseline that motivates the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (CFDConfig, Straggler, SyntheticWorkload,
+                        imbalance_sweep_workload, run_cfd)
+from repro.baselines import region_percent_imbalance, search
+from repro.core import Band, analyze, render_full_report
+from repro.instrument import Tracer, profile, read_tracer, write_tracer
+from repro.simmpi import NetworkModel, Simulator
+
+
+class TestFullPipeline:
+    def test_simulate_to_report(self, cfd_run):
+        result, tracer, measurements = cfd_run
+        analysis = analyze(measurements)
+        report = render_full_report(analysis)
+        assert "loop 1" in report and "Top-down analysis summary" in report
+        # The simulated elapsed time bounds each region's wall clock.
+        assert measurements.region_times.max() <= result.elapsed
+
+    def test_trace_file_detour_preserves_analysis(self, cfd_run, tmp_path):
+        _, tracer, direct_ms = cfd_run
+        path = tmp_path / "cfd.jsonl.gz"
+        write_tracer(path, tracer)
+        from repro.apps import LOOPS
+        rebuilt_ms = profile(read_tracer(path), regions=LOOPS)
+        np.testing.assert_allclose(rebuilt_ms.times, direct_ms.times)
+        direct = analyze(direct_ms)
+        rebuilt = analyze(rebuilt_ms)
+        np.testing.assert_allclose(direct.region_view.scaled_index,
+                                   rebuilt.region_view.scaled_index)
+
+    def test_injected_straggler_is_found(self):
+        """Plant an imbalance, recover it through the whole stack."""
+        workload = imbalance_sweep_workload(
+            Straggler(rank=5, factor_value=1.8))
+        _, _, measurements = workload.run(8)
+        analysis = analyze(measurements, cluster_count=None)
+        # The kernel region must surface as the top scaled candidate...
+        assert analysis.region_view.most_imbalanced(scaled=True) == "kernel"
+        # ...and the processor view must finger rank 5 in the kernel.
+        assert analysis.processor_view.most_imbalanced_processor(
+            "kernel") == 5
+        # The pattern grid shows rank 5 at the computation maximum.
+        assert analysis.pattern("computation").row("kernel")[5] is Band.MAX
+
+    def test_imbalance_monotone_in_injected_skew(self):
+        """More injected skew -> larger scaled index for the kernel."""
+        indices = []
+        for factor in (1.0, 1.4, 1.8, 2.2):
+            workload = imbalance_sweep_workload(
+                Straggler(rank=2, factor_value=factor))
+            _, _, measurements = workload.run(8)
+            view = analyze(measurements, cluster_count=None).region_view
+            kernel = measurements.region_index("kernel")
+            indices.append(float(view.index[kernel]))
+        assert all(later > earlier - 1e-9
+                   for earlier, later in zip(indices, indices[1:]))
+        assert indices[-1] > indices[0]
+
+    def test_methodology_vs_threshold_search(self, paper_measurements):
+        """The motivating contrast: the threshold search never descends
+        into synchronization (0.1% of runtime), while the methodology
+        flags it as the most imbalanced activity."""
+        baseline = search(paper_measurements)
+        refined = {hypothesis.focus[0]
+                   for hypothesis in baseline.hypotheses
+                   if hypothesis.level != "program"}
+        assert "synchronization" not in refined
+        analysis = analyze(paper_measurements)
+        assert analysis.activity_view.most_imbalanced() == "synchronization"
+
+    def test_baseline_agrees_on_gross_imbalance(self, cfd_measurements):
+        """Where computational imbalance is gross (loop 6's hot
+        boundary ranks), the percent-imbalance baseline and the
+        methodology agree on the ordering."""
+        from repro.baselines import summarize
+        baseline = summarize(cfd_measurements)
+        assert baseline["loop 6"]["computation"].percent > \
+            baseline["loop 1"]["computation"].percent
+        analysis = analyze(cfd_measurements)
+        assert analysis.region_view.most_imbalanced() == "loop 6"
+
+
+class TestCrossNetworkRobustness:
+    def test_shape_survives_network_change(self):
+        """The paper's qualitative conclusions should not hinge on exact
+        network constants: double latency and halve bandwidth."""
+        slow = NetworkModel(latency=80e-6, bandwidth=17.5e6, overhead=5e-6,
+                            eager_threshold=8192)
+        _, _, measurements = run_cfd(network=slow)
+        analysis = analyze(measurements)
+        # With half the bandwidth the collective share grows (it may even
+        # become dominant); the structural findings must survive.
+        assert analysis.breakdown.heaviest_region == "loop 1"
+        assert analysis.region_view.most_imbalanced() == "loop 6"
+
+    def test_heterogeneous_links_show_up_in_p2p(self):
+        """A slow link into one rank inflates its neighbours' p2p times."""
+        def weak_link(src, dst):
+            return 4.0 if 3 in (src, dst) else 1.0
+
+        network = NetworkModel(latency=50e-6, bandwidth=30e6,
+                               link_scale=weak_link, eager_threshold=0)
+
+        def program(comm):
+            with comm.region("exchange"):
+                yield from comm.compute(1e-3)
+                right = (comm.rank + 1) % comm.size
+                left = (comm.rank - 1) % comm.size
+                yield from comm.sendrecv(right, 64 * 1024, left)
+
+        tracer = Tracer()
+        Simulator(8, network=network, trace_sink=tracer.record).run(program)
+        measurements = profile(tracer)
+        j = measurements.activity_index("point-to-point")
+        times = measurements.times[0, j, :]
+        # Rank 3 and its ring neighbours suffer the slow link.
+        assert times[3] > np.median(times)
+
+
+class TestScalability:
+    @pytest.mark.parametrize("n_ranks", [2, 4, 32])
+    def test_cfd_runs_at_other_scales(self, n_ranks):
+        # Defaults target 16 ranks on a 256^2 grid; at other scales keep
+        # computation dominant by raising per-cell work and shrinking the
+        # reductions proportionally to the smaller grid.
+        config = CFDConfig(grid=(64, 64), steps=1, time_per_cell=6e-6,
+                           reduction_bytes=16 * 1024, loop_imbalance={})
+        _, _, measurements = run_cfd(config, n_ranks=n_ranks)
+        assert measurements.n_processors == n_ranks
+        analysis = analyze(measurements, cluster_count=None)
+        assert analysis.breakdown.dominant_activity == "computation"
+
+    def test_many_regions(self):
+        from repro.apps import RegionSpec
+        workload = SyntheticWorkload(regions=tuple(
+            RegionSpec(name=f"region {i}", compute=1e-4,
+                       pattern="barrier" if i % 3 == 0 else "none")
+            for i in range(40)))
+        _, _, measurements = workload.run(4)
+        assert measurements.n_regions == 40
+        analysis = analyze(measurements, cluster_count=2)
+        assert len(analysis.region_clusters) == 2

@@ -1,0 +1,92 @@
+"""Tests for the trace linter."""
+
+import pytest
+
+from repro.instrument import Tracer, TraceEvent, lint_trace
+
+
+def clean_tracer():
+    tracer = Tracer()
+    tracer.record(0, "r", "computation", 0.0, 1.0)
+    tracer.record(0, "r", "point-to-point", 1.0, 1.5, kind="send",
+                  nbytes=100, partner=1)
+    tracer.record(1, "r", "point-to-point", 0.0, 1.6, kind="recv",
+                  nbytes=100, partner=0)
+    return tracer
+
+
+class TestLint:
+    def test_clean_trace(self):
+        assert lint_trace(clean_tracer()) == ()
+
+    def test_empty_trace_is_clean(self):
+        assert lint_trace(Tracer()) == ()
+
+    def test_overlap_detected(self):
+        tracer = clean_tracer()
+        tracer.record(0, "r", "computation", 0.5, 0.8)   # inside [0,1]
+        issues = lint_trace(tracer)
+        assert any(issue.kind == "overlap" for issue in issues)
+
+    def test_touching_intervals_are_fine(self):
+        tracer = Tracer()
+        tracer.record(0, "r", "computation", 0.0, 1.0)
+        tracer.record(0, "r", "computation", 1.0, 2.0)
+        assert lint_trace(tracer) == ()
+
+    def test_unmatched_send(self):
+        tracer = clean_tracer()
+        tracer.record(0, "r", "point-to-point", 2.0, 2.1, kind="send",
+                      nbytes=999, partner=1)
+        issues = lint_trace(tracer)
+        assert any(issue.kind == "unmatched-send" for issue in issues)
+
+    def test_unmatched_recv(self):
+        tracer = clean_tracer()
+        tracer.record(1, "r", "point-to-point", 2.0, 2.1, kind="recv",
+                      nbytes=999, partner=0)
+        issues = lint_trace(tracer)
+        assert any(issue.kind == "unmatched-recv" for issue in issues)
+
+    def test_wait_counts_as_receive(self):
+        tracer = Tracer()
+        tracer.record(0, "r", "point-to-point", 0.0, 0.1, kind="send",
+                      nbytes=64, partner=1)
+        tracer.record(1, "r", "point-to-point", 0.0, 0.2, kind="wait",
+                      nbytes=64, partner=0)
+        assert lint_trace(tracer) == ()
+
+    def test_empty_rank_detected(self):
+        tracer = Tracer()
+        tracer.record(0, "r", "computation", 0.0, 1.0)
+        tracer.record(2, "r", "computation", 0.0, 1.0)   # rank 1 missing
+        issues = lint_trace(tracer)
+        assert any(issue.kind == "empty-rank" for issue in issues)
+
+    def test_simulator_traces_are_clean(self, cfd_run):
+        """The engine's own traces satisfy every invariant, including
+        the send/receive census across blocking and nonblocking paths."""
+        _, tracer, _ = cfd_run
+        assert lint_trace(tracer) == ()
+
+    def test_collective_traces_are_clean(self):
+        from repro.simmpi import Simulator
+
+        def program(comm):
+            with comm.region("c"):
+                yield from comm.allreduce(4096)
+                yield from comm.barrier()
+                yield from comm.alltoall(128)
+                yield from comm.reduce_scatter(256)
+
+        tracer = Tracer()
+        Simulator(8, trace_sink=tracer.record).run(program)
+        assert lint_trace(tracer) == ()
+
+    def test_filtering_ranks_breaks_the_census(self):
+        """Dropping one side of a conversation is exactly what the
+        linter exists to catch."""
+        from repro.instrument import filter_ranks
+        filtered = filter_ranks(clean_tracer(), [0])
+        issues = lint_trace(filtered)
+        assert any(issue.kind == "unmatched-send" for issue in issues)

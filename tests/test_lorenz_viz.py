@@ -1,0 +1,67 @@
+"""Tests for the ASCII Lorenz curve rendering."""
+
+import pytest
+
+from repro.core import MeasurementSet
+from repro.errors import MajorizationError
+from repro.viz import gini_summary, render_lorenz, render_region_lorenz
+
+import numpy as np
+
+
+class TestRenderLorenz:
+    def test_contains_curve_and_diagonal(self):
+        text = render_lorenz([1.0, 2.0, 3.0, 10.0])
+        assert "*" in text and "." in text
+        assert "Lorenz curve" in text
+
+    def test_balanced_curve_overlaps_diagonal(self):
+        text = render_lorenz([2.0] * 8)
+        # Everywhere the curve covers the diagonal, only '*' remains on
+        # the plotted diagonal cells.
+        plot_lines = [line for line in text.splitlines()
+                      if line.startswith((" |", "0|", "1|"))]
+        dots = sum(line.count(".") for line in plot_lines)
+        assert dots == 0
+
+    def test_skew_pushes_curve_below(self):
+        text = render_lorenz([0.0, 0.0, 0.0, 10.0])
+        plot_lines = [line for line in text.splitlines()
+                      if line.startswith((" |", "0|", "1|"))]
+        # The diagonal stays visible where the curve sags away from it.
+        dots = sum(line.count(".") for line in plot_lines)
+        assert dots > 5
+
+    def test_label(self):
+        assert render_lorenz([1, 2], label="my data").startswith("my data")
+
+    def test_rejects_tiny_plot(self):
+        with pytest.raises(MajorizationError):
+            render_lorenz([1, 2], width=5, height=3)
+
+    def test_rejects_zero_sum(self):
+        with pytest.raises(MajorizationError):
+            render_lorenz([0.0, 0.0])
+
+
+class TestRegionLorenz:
+    @pytest.fixture()
+    def measurements(self):
+        times = np.zeros((1, 1, 4))
+        times[0, 0] = [1.0, 1.0, 1.0, 5.0]
+        return MeasurementSet(times, regions=("hot",), activities=("X",))
+
+    def test_render(self, measurements):
+        text = render_region_lorenz(measurements, "hot")
+        assert "hot" in text and "P = 4" in text
+
+    def test_gini_summary(self, measurements):
+        summary = gini_summary(measurements)
+        assert set(summary) == {"hot"}
+        assert 0.0 < summary["hot"] < 1.0
+
+    def test_gini_summary_on_paper_data(self, paper_measurements):
+        summary = gini_summary(paper_measurements)
+        assert set(summary) == set(paper_measurements.regions)
+        # All Ginis are small (the loops are not grossly concentrated).
+        assert all(0.0 <= value < 0.5 for value in summary.values())

@@ -1,0 +1,161 @@
+"""Unit tests for majorization theory."""
+
+import numpy as np
+import pytest
+
+from repro.core import (balanced_vector, comparable, concentrated_vector,
+                        equivalent, lorenz_curve, lorenz_dominates,
+                        majorizes, spread_order, t_transform,
+                        weakly_majorizes)
+from repro.errors import MajorizationError
+
+
+class TestMajorizes:
+    def test_concentrated_majorizes_balanced(self):
+        assert majorizes([1, 0, 0, 0], [0.25, 0.25, 0.25, 0.25])
+
+    def test_balanced_does_not_majorize(self):
+        assert not majorizes([0.25] * 4, [1, 0, 0, 0])
+
+    def test_reflexive(self):
+        assert majorizes([3, 1, 2], [3, 1, 2])
+
+    def test_permutation_invariant(self):
+        assert majorizes([3, 1, 2], [2, 3, 1])
+        assert majorizes([2, 3, 1], [3, 1, 2])
+
+    def test_classic_example(self):
+        # (3, 1, 0) > (2, 1, 1)
+        assert majorizes([3, 1, 0], [2, 1, 1])
+        assert not majorizes([2, 1, 1], [3, 1, 0])
+
+    def test_incomparable_pair(self):
+        # (0.6, 0.2, 0.2) vs (0.5, 0.45, 0.05): partial sums cross.
+        x = [0.6, 0.2, 0.2]
+        y = [0.5, 0.45, 0.05]
+        assert not majorizes(x, y)
+        assert not majorizes(y, x)
+        assert not comparable(x, y)
+
+    def test_unequal_sums_not_majorized(self):
+        assert not majorizes([2, 0], [0.5, 0.5])
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(MajorizationError):
+            majorizes([1, 0], [1, 0, 0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(MajorizationError):
+            majorizes([1.0, float("nan")], [1.0, 1.0])
+
+
+class TestWeakMajorization:
+    def test_holds_with_larger_sums(self):
+        assert weakly_majorizes([3, 2], [1, 1])
+
+    def test_equivalent_to_majorization_for_equal_sums(self):
+        assert weakly_majorizes([3, 1, 0], [2, 1, 1])
+        assert not weakly_majorizes([2, 1, 1], [3, 1, 0])
+
+
+class TestEquivalence:
+    def test_permutations_equivalent(self):
+        assert equivalent([1, 2, 3], [3, 2, 1])
+
+    def test_distinct_not_equivalent(self):
+        assert not equivalent([3, 1, 0], [2, 1, 1])
+
+
+class TestLorenz:
+    def test_curve_endpoints(self):
+        fractions, shares = lorenz_curve([1.0, 2.0, 3.0])
+        assert fractions[0] == 0.0 and fractions[-1] == 1.0
+        assert shares[0] == 0.0 and shares[-1] == pytest.approx(1.0)
+
+    def test_balanced_curve_is_diagonal(self):
+        fractions, shares = lorenz_curve([2.0, 2.0, 2.0, 2.0])
+        np.testing.assert_allclose(shares, fractions)
+
+    def test_curve_values(self):
+        _, shares = lorenz_curve([1.0, 3.0])
+        np.testing.assert_allclose(shares, [0.0, 0.25, 1.0])
+
+    def test_dominance_matches_majorization(self):
+        x = [3.0, 1.0, 0.0]
+        y = [2.0, 1.0, 1.0]
+        assert lorenz_dominates(x, y)
+        assert not lorenz_dominates(y, x)
+
+    def test_rejects_negative(self):
+        with pytest.raises(MajorizationError):
+            lorenz_curve([1.0, -1.0])
+
+    def test_rejects_zero_sum(self):
+        with pytest.raises(MajorizationError):
+            lorenz_curve([0.0, 0.0])
+
+
+class TestTTransform:
+    def test_moves_down_the_order(self):
+        original = np.array([4.0, 0.0, 0.0])
+        transformed = t_transform(original, 0, 1, 0.25)
+        assert majorizes(original, transformed)
+        assert not majorizes(transformed, original)
+
+    def test_preserves_sum(self):
+        transformed = t_transform([5.0, 1.0, 2.0], 0, 1, 0.3)
+        assert transformed.sum() == pytest.approx(8.0)
+
+    def test_full_transfer_is_swap(self):
+        transformed = t_transform([4.0, 1.0], 0, 1, 1.0)
+        assert sorted(transformed.tolist()) == [1.0, 4.0]
+        assert equivalent(transformed, [4.0, 1.0])
+
+    def test_half_transfer_equalizes(self):
+        transformed = t_transform([4.0, 0.0], 0, 1, 0.5)
+        np.testing.assert_allclose(transformed, [2.0, 2.0])
+
+    def test_direction_autodetected(self):
+        # Donor/recipient swap automatically so the larger always gives.
+        transformed = t_transform([0.0, 4.0], 0, 1, 0.5)
+        np.testing.assert_allclose(transformed, [2.0, 2.0])
+
+    def test_rejects_same_indices(self):
+        with pytest.raises(MajorizationError):
+            t_transform([1.0, 2.0], 1, 1, 0.5)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(MajorizationError):
+            t_transform([1.0, 2.0], 0, 1, 1.5)
+
+
+class TestExtremesAndOrder:
+    def test_balanced_vector(self):
+        np.testing.assert_allclose(balanced_vector(4), 0.25)
+
+    def test_concentrated_vector(self):
+        vector = concentrated_vector(4, total=2.0, index=3)
+        assert vector.tolist() == [0.0, 0.0, 0.0, 2.0]
+
+    def test_everything_majorizes_balanced(self):
+        balanced = balanced_vector(5)
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            raw = rng.uniform(0.0, 1.0, 5)
+            raw = raw / raw.sum()
+            assert majorizes(raw, balanced)
+
+    def test_concentrated_majorizes_everything(self):
+        top = concentrated_vector(5)
+        rng = np.random.default_rng(8)
+        for _ in range(20):
+            raw = rng.uniform(0.0, 1.0, 5)
+            raw = raw / raw.sum()
+            assert majorizes(top, raw)
+
+    def test_spread_order_matrix(self):
+        datasets = [[1, 0, 0], [0.5, 0.5, 0], [1 / 3] * 3]
+        matrix = spread_order(datasets)
+        assert matrix[0, 1] and matrix[0, 2] and matrix[1, 2]
+        assert not matrix[2, 0] and not matrix[2, 1] and not matrix[1, 0]
+        assert not matrix.diagonal().any()

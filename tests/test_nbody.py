@@ -1,0 +1,107 @@
+"""Tests for the N-body workload: dynamic imbalance and its repair."""
+
+import numpy as np
+import pytest
+
+from repro.apps import NBODY_REGIONS, NBodyConfig, run_nbody
+from repro.apps.nbody import _drift_counts
+from repro.core import temporal_analysis
+from repro.errors import WorkloadError
+from repro.instrument import window_profiles
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        NBodyConfig()
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(WorkloadError):
+            NBodyConfig(particles_per_rank=0)
+        with pytest.raises(WorkloadError):
+            NBodyConfig(drift_fraction=1.0)
+        with pytest.raises(WorkloadError):
+            NBodyConfig(rebalance_every=-1)
+
+
+class TestDriftCounts:
+    def test_conserves_particles(self):
+        counts = [100, 100, 100, 100]
+        transfers = _drift_counts(counts, attractor=0, fraction=0.1)
+        outgoing = [sum(row) for row in transfers]
+        incoming = [sum(transfers[s][t] for s in range(4))
+                    for t in range(4)]
+        new = [counts[r] - outgoing[r] + incoming[r] for r in range(4)]
+        assert sum(new) == sum(counts)
+
+    def test_attractor_keeps_everything(self):
+        transfers = _drift_counts([100] * 4, attractor=2, fraction=0.2)
+        assert sum(transfers[2]) == 0
+
+    def test_flows_toward_attractor(self):
+        transfers = _drift_counts([100] * 5, attractor=0, fraction=0.1)
+        # Rank 1 sends backward to 0; rank 4 wraps forward to 0.
+        assert transfers[1][0] == 10
+        assert transfers[4][0] == 10
+        # Rank 2 heads toward 0 via rank 1.
+        assert transfers[2][1] == 10
+
+
+class TestRunNBody:
+    @pytest.fixture(scope="class")
+    def drifting(self):
+        return run_nbody(NBodyConfig(steps=8), n_ranks=8)
+
+    def test_regions(self, drifting):
+        _, _, measurements = drifting
+        assert measurements.regions == NBODY_REGIONS
+
+    def test_rebalance_region_empty_when_disabled(self, drifting):
+        _, _, measurements = drifting
+        i = measurements.region_index("rebalance")
+        assert measurements.times[i].sum() == 0.0
+
+    def test_rebalance_region_active_when_enabled(self):
+        _, _, measurements = run_nbody(
+            NBodyConfig(steps=6, rebalance_every=2), n_ranks=8)
+        i = measurements.region_index("rebalance")
+        assert measurements.times[i].sum() > 0.0
+
+    def test_attractor_accumulates_work(self, drifting):
+        _, _, measurements = drifting
+        forces = measurements.region_index("forces")
+        comp = measurements.activity_index("computation")
+        times = measurements.times[forces, comp, :]
+        assert int(np.argmax(times)) == 0        # the attractor rank
+
+    def test_imbalance_drifts_upward(self, drifting):
+        _, tracer, _ = drifting
+        windows = window_profiles(tracer, 4,
+                                  regions=("forces",))
+        analysis = temporal_analysis(windows)
+        trend = analysis.trend("forces")
+        assert trend.slope > 0.0
+        assert trend.series[-1] > trend.series[0]
+
+    def test_rebalancing_caps_the_drift(self):
+        config = NBodyConfig(steps=8)
+        repaired = NBodyConfig(steps=8, rebalance_every=2)
+        _, tracer_a, _ = run_nbody(config, n_ranks=8)
+        _, tracer_b, _ = run_nbody(repaired, n_ranks=8)
+        slope_a = temporal_analysis(
+            window_profiles(tracer_a, 4, regions=("forces",))
+        ).trend("forces").slope
+        slope_b = temporal_analysis(
+            window_profiles(tracer_b, 4, regions=("forces",))
+        ).trend("forces").slope
+        assert slope_b < slope_a
+
+    def test_rebalancing_speeds_up_the_run(self):
+        plain = run_nbody(NBodyConfig(steps=10), n_ranks=8)[0]
+        repaired = run_nbody(NBodyConfig(steps=10, rebalance_every=3),
+                             n_ranks=8)[0]
+        assert repaired.elapsed < plain.elapsed
+
+    def test_deterministic(self):
+        first = run_nbody(NBodyConfig(steps=4), n_ranks=4)
+        second = run_nbody(NBodyConfig(steps=4), n_ranks=4)
+        np.testing.assert_array_equal(first[2].times, second[2].times)

@@ -1,0 +1,48 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simmpi import ZERO_COST, NetworkModel
+
+
+class TestNetworkModel:
+    def test_transfer_time_formula(self):
+        model = NetworkModel(latency=1e-3, bandwidth=1e6)
+        assert model.transfer_time(1000, 0, 1) == pytest.approx(2e-3)
+
+    def test_zero_bytes_costs_latency(self):
+        model = NetworkModel(latency=5e-4, bandwidth=1e6)
+        assert model.transfer_time(0, 0, 1) == pytest.approx(5e-4)
+
+    def test_eager_threshold(self):
+        model = NetworkModel(eager_threshold=100)
+        assert model.is_eager(100)
+        assert not model.is_eager(101)
+
+    def test_link_scale(self):
+        model = NetworkModel(latency=1e-3, bandwidth=1e6,
+                             link_scale=lambda s, d: 2.0 if d == 3 else 1.0)
+        assert model.transfer_time(0, 0, 3) == pytest.approx(2e-3)
+        assert model.transfer_time(0, 0, 1) == pytest.approx(1e-3)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(SimulationError):
+            NetworkModel(latency=-1.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(SimulationError):
+            NetworkModel(bandwidth=0.0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(SimulationError):
+            NetworkModel().transfer_time(-1, 0, 1)
+
+    def test_rejects_nonpositive_link_scale(self):
+        model = NetworkModel(link_scale=lambda s, d: 0.0)
+        with pytest.raises(SimulationError):
+            model.transfer_time(10, 0, 1)
+
+    def test_zero_cost_model(self):
+        assert ZERO_COST.transfer_time(10 ** 9, 0, 1) < 1e-12
+        assert ZERO_COST.is_eager(10 ** 9)

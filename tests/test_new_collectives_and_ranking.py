@@ -1,0 +1,143 @@
+"""Tests for reduce_scatter/scan and the new ranking criteria."""
+
+import pytest
+
+from repro.core import rank, rank_by_elbow, rank_by_share
+from repro.errors import RankingError
+from repro.simmpi import NetworkModel, Simulator
+
+FAST = NetworkModel(latency=1e-4, bandwidth=1e8, overhead=0.0,
+                    eager_threshold=1 << 20)
+
+
+def run(program, n_ranks):
+    return Simulator(n_ranks, network=FAST).run(program)
+
+
+class TestReduceScatter:
+    def test_power_of_two_message_count(self):
+        def program(comm):
+            yield from comm.reduce_scatter(1024)
+
+        result = run(program, 8)
+        # Recursive halving: one exchange (2 messages) per rank pair per
+        # round, log2(8) rounds.
+        assert result.messages == 8 * 3
+
+    def test_non_power_of_two_falls_back(self):
+        def program(comm):
+            yield from comm.reduce_scatter(1024)
+
+        result = run(program, 6)
+        # reduce (5 msgs) + linear scatter (5 msgs).
+        assert result.messages == 10
+
+    def test_volume_halves_per_round(self):
+        def program(comm):
+            yield from comm.reduce_scatter(1000)
+
+        result = run(program, 4)
+        # Round 1: 2000 bytes per rank, round 2: 1000 -> 4*(2000+1000).
+        assert result.bytes_moved == 4 * 3000
+
+    def test_single_rank_noop(self):
+        def program(comm):
+            yield from comm.reduce_scatter(1024)
+
+        assert run(program, 1).messages == 0
+
+    def test_synchronizes_all(self):
+        after = {}
+
+        def program(comm):
+            yield from comm.compute(0.01 * (comm.rank + 1))
+            yield from comm.reduce_scatter(512)
+            after[comm.rank] = yield from comm.elapsed()
+
+        run(program, 8)
+        assert min(after.values()) >= 0.08 - 1e-12
+
+
+class TestScan:
+    def test_message_count_is_chain(self):
+        def program(comm):
+            yield from comm.scan(128)
+
+        result = run(program, 6)
+        assert result.messages == 5
+
+    def test_completion_time_grows_along_chain(self):
+        after = {}
+
+        def program(comm):
+            yield from comm.scan(10 ** 6)
+            after[comm.rank] = yield from comm.elapsed()
+
+        run(program, 5)
+        clocks = [after[rank] for rank in range(5)]
+        assert all(later >= earlier
+                   for earlier, later in zip(clocks, clocks[1:]))
+        assert clocks[-1] > clocks[0]
+
+    def test_single_rank_noop(self):
+        def program(comm):
+            yield from comm.scan(128)
+
+        assert run(program, 1).messages == 0
+
+
+VALUES = {"a": 0.50, "b": 0.45, "c": 0.10, "d": 0.05}
+
+
+class TestElbowCriterion:
+    def test_cuts_at_largest_gap(self):
+        result = rank_by_elbow(VALUES)
+        # Largest drop is 0.45 -> 0.10.
+        assert result.names == ("a", "b")
+
+    def test_single_item(self):
+        assert rank_by_elbow({"only": 1.0}).names == ("only",)
+
+    def test_all_equal_selects_first(self):
+        result = rank_by_elbow({"a": 1.0, "b": 1.0, "c": 1.0})
+        assert len(result.names) >= 1
+
+    def test_dispatch(self):
+        assert rank(VALUES, "elbow").criterion == "elbow"
+
+
+class TestShareCriterion:
+    def test_pareto_selection(self):
+        result = rank_by_share(VALUES, share=0.8)
+        # 0.50 + 0.45 = 0.95 >= 0.8 of 1.10 -> stop after two? 0.8*1.1=0.88:
+        # 0.50 < 0.88, 0.95 >= 0.88 -> {a, b}.
+        assert result.names == ("a", "b")
+
+    def test_full_share_selects_all_positive(self):
+        result = rank_by_share(VALUES, share=1.0)
+        assert len(result.names) == 4
+
+    def test_small_share_selects_top(self):
+        result = rank_by_share(VALUES, share=0.3)
+        assert result.names == ("a",)
+
+    def test_rejects_bad_share(self):
+        with pytest.raises(RankingError):
+            rank_by_share(VALUES, share=0.0)
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(RankingError):
+            rank_by_share({"a": -1.0, "b": 2.0})
+
+    def test_dispatch(self):
+        assert rank(VALUES, "share", share=0.5).criterion == "share(0.5)"
+
+    def test_on_paper_regions(self, paper_measurements):
+        """Pareto-selecting 80% of the scaled index mass keeps the
+        paper's tuning candidate first."""
+        from repro.core import compute_region_view
+        view = compute_region_view(paper_measurements)
+        values = {region: float(value)
+                  for region, value in zip(view.regions, view.scaled_index)}
+        result = rank_by_share(values, share=0.8)
+        assert result.names[0] == "loop 1"

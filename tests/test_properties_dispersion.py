@@ -1,0 +1,112 @@
+"""Property-based tests: indices of dispersion and standardization.
+
+The methodology's validity rests on a few algebraic properties; here
+hypothesis searches for counterexamples:
+
+* standardization always lands on the probability simplex;
+* every registered index is non-negative and zero on balanced data;
+* the paper's Euclidean index is permutation-invariant, bounded by
+  ``sqrt(1 - 1/n)`` on standardized data, and **Schur-convex**: a
+  T-transform (moving time from a loaded processor to a less loaded
+  one) never increases it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (available_indices, balanced_point, euclidean_distance,
+                        get_index, standardize, t_transform)
+
+positive_datasets = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    min_size=2, max_size=32)
+
+#: Indices meaningful on standardized (non-negative, sum-one) data and
+#: expected to be Schur-convex there.
+SCHUR_CONVEX = ("euclidean", "variance", "cv", "mad", "max", "range",
+                "gini", "theil")
+
+
+@given(positive_datasets)
+def test_standardize_lands_on_simplex(values):
+    standardized = standardize(values)
+    assert np.all(standardized >= 0.0)
+    assert standardized.sum() == pytest.approx(1.0)
+
+
+@given(positive_datasets)
+def test_standardize_is_scale_invariant(values):
+    once = standardize(values)
+    scaled = standardize([v * 37.5 for v in values])
+    np.testing.assert_allclose(once, scaled, rtol=1e-9)
+
+
+@given(positive_datasets)
+def test_euclidean_permutation_invariant(values):
+    standardized = standardize(values)
+    shuffled = np.roll(standardized, 1)
+    assert euclidean_distance(standardized) == pytest.approx(
+        euclidean_distance(shuffled))
+
+
+@given(positive_datasets)
+def test_euclidean_bounds_on_simplex(values):
+    standardized = standardize(values)
+    n = standardized.size
+    value = euclidean_distance(standardized)
+    assert -1e-12 <= value <= np.sqrt(1.0 - 1.0 / n) + 1e-9
+
+
+@given(st.integers(min_value=2, max_value=40))
+def test_balanced_data_scores_zero_on_every_index(n):
+    balanced = balanced_point(n)
+    for name in available_indices():
+        if name == "sum":
+            continue
+        value = get_index(name)(balanced)
+        if name == "max":
+            assert value == pytest.approx(1.0 / n)
+        else:
+            assert value == pytest.approx(0.0, abs=1e-12)
+
+
+@settings(max_examples=200)
+@given(positive_datasets,
+       st.integers(min_value=0, max_value=31),
+       st.integers(min_value=0, max_value=31),
+       st.floats(min_value=0.0, max_value=0.5))
+def test_schur_convexity_under_t_transform(values, donor, recipient,
+                                           fraction):
+    """A Robin Hood transfer never increases a Schur-convex index."""
+    standardized = standardize(values)
+    n = standardized.size
+    donor %= n
+    recipient %= n
+    if donor == recipient:
+        recipient = (recipient + 1) % n
+    smoothed = t_transform(standardized, donor, recipient, fraction)
+    for name in SCHUR_CONVEX:
+        index = get_index(name)
+        before = index(standardized)
+        after = index(smoothed)
+        assert after <= before + 1e-9, (
+            f"{name} increased under a T-transform: {before} -> {after}")
+
+
+@settings(max_examples=100)
+@given(positive_datasets, st.integers(min_value=1, max_value=10))
+def test_repeated_smoothing_converges_toward_balance(values, steps):
+    """Averaging neighbouring pairs drives the Euclidean index to zero
+    monotonically — the index really does measure 'distance from
+    balance'."""
+    data = standardize(values)
+    previous = euclidean_distance(data)
+    for step in range(steps):
+        data = t_transform(data, step % data.size,
+                           (step + 1) % data.size, 0.5)
+        current = euclidean_distance(data)
+        assert current <= previous + 1e-9
+        previous = current

@@ -1,0 +1,173 @@
+"""Property-based tests for the extension modules.
+
+Invariants of comparison, temporal analysis, counters and the trace
+reader's robustness to corruption.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import MeasurementSet, compare, temporal_analysis
+from repro.errors import ReproError, TraceError
+from repro.instrument import TraceEvent, read_trace, write_trace
+
+tensors = st.tuples(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=2, max_value=6),
+).flatmap(lambda shape: hnp.arrays(
+    np.float64, shape,
+    elements=st.one_of(st.just(0.0),
+                       st.floats(min_value=1e-3, max_value=100.0))))
+
+
+def valid(tensor):
+    # Every region must have some time for region-level comparisons.
+    if tensor.sum() <= 0.0 or (tensor.sum(axis=(1, 2)) <= 0.0).any():
+        return None
+    return MeasurementSet(tensor)
+
+
+class TestComparisonProperties:
+    @settings(max_examples=80)
+    @given(tensors)
+    def test_self_comparison_is_neutral(self, tensor):
+        ms = valid(tensor)
+        if ms is None:
+            return
+        report = compare(ms, ms)
+        assert report.speedup == pytest.approx(1.0)
+        assert not report.time_regressions
+        assert not report.imbalance_regressions
+        for delta in report.regions:
+            assert delta.speedup == pytest.approx(1.0)
+            assert delta.index_change == pytest.approx(0.0, abs=1e-12)
+
+    @settings(max_examples=60)
+    @given(tensors, st.floats(min_value=0.2, max_value=5.0))
+    def test_uniform_scaling_gives_reciprocal_speedup(self, tensor, scale):
+        ms = valid(tensor)
+        if ms is None:
+            return
+        scaled = MeasurementSet(tensor * scale)
+        forward = compare(ms, scaled)
+        backward = compare(scaled, ms)
+        assert forward.speedup == pytest.approx(1.0 / scale, rel=1e-9)
+        assert forward.speedup * backward.speedup == pytest.approx(
+            1.0, rel=1e-9)
+
+    @settings(max_examples=60)
+    @given(tensors, st.floats(min_value=0.2, max_value=5.0))
+    def test_uniform_scaling_never_changes_indices(self, tensor, scale):
+        ms = valid(tensor)
+        if ms is None:
+            return
+        report = compare(ms, MeasurementSet(tensor * scale))
+        for delta in report.regions:
+            assert delta.index_change == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTemporalProperties:
+    @settings(max_examples=60)
+    @given(tensors, st.integers(min_value=2, max_value=5))
+    def test_constant_windows_are_flat(self, tensor, n_windows):
+        ms = valid(tensor)
+        if ms is None:
+            return
+        analysis = temporal_analysis([ms] * n_windows)
+        for trend in analysis.trends:
+            assert trend.slope == pytest.approx(0.0, abs=1e-9)
+
+    @settings(max_examples=60)
+    @given(tensors, st.integers(min_value=2, max_value=5))
+    def test_series_lengths(self, tensor, n_windows):
+        ms = valid(tensor)
+        if ms is None:
+            return
+        analysis = temporal_analysis([ms] * n_windows)
+        assert analysis.n_windows == n_windows
+        for trend in analysis.trends:
+            assert len(trend.series) == n_windows
+
+
+class TestTraceReaderRobustness:
+    def sample(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [
+            TraceEvent(0, "r", "computation", 0.0, 1.0),
+            TraceEvent(1, "r", "point-to-point", 0.0, 2.0, kind="send",
+                       nbytes=10, partner=0),
+        ])
+        return path
+
+    @settings(max_examples=60, deadline=None)
+    @given(position=st.integers(min_value=0, max_value=400),
+           garbage=st.text(min_size=1, max_size=20))
+    def test_corruption_never_crashes(self, tmp_path_factory, position,
+                                      garbage):
+        """Arbitrary text splices either still parse (if harmless, e.g.
+        inside a string field) or raise TraceError — never an unhandled
+        exception."""
+        path = self.sample(tmp_path_factory.mktemp("fuzz"))
+        content = path.read_text()
+        position = min(position, len(content))
+        path.write_text(content[:position] + garbage + content[position:])
+        try:
+            read_trace(path)
+        except ReproError:
+            pass        # detected corruption: the contract
+
+    @settings(max_examples=40, deadline=None)
+    @given(cut=st.integers(min_value=1, max_value=300))
+    def test_truncation_never_crashes(self, tmp_path_factory, cut):
+        path = self.sample(tmp_path_factory.mktemp("trunc"))
+        content = path.read_text()
+        path.write_text(content[:max(0, len(content) - cut)])
+        try:
+            read_trace(path)
+        except TraceError:
+            pass
+
+
+class TestInjectorPredictionClosesTheLoop:
+    """Measured dispersion on a jitter-free synthetic run must equal the
+    injector's analytical prediction — end-to-end model validation."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=7),
+           st.floats(min_value=1.05, max_value=3.0),
+           st.integers(min_value=2, max_value=8))
+    def test_straggler_prediction(self, rank, factor, size):
+        from repro.apps import (RegionSpec, Straggler, SyntheticWorkload,
+                                predicted_dispersion)
+        from repro.core import dispersion_matrix
+        rank %= size
+        injector = Straggler(rank=rank, factor_value=factor)
+        workload = SyntheticWorkload(regions=(
+            RegionSpec(name="k", compute=1e-3, injector=injector),))
+        _, _, measurements = workload.run(size)
+        matrix = dispersion_matrix(measurements)
+        comp = measurements.activity_index("computation")
+        assert matrix[0, comp] == pytest.approx(
+            predicted_dispersion(injector, size), rel=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=0.8),
+           st.integers(min_value=2, max_value=10))
+    def test_gradient_prediction(self, amplitude, size):
+        from repro.apps import (LinearGradient, RegionSpec,
+                                SyntheticWorkload, predicted_dispersion)
+        from repro.core import dispersion_matrix
+        injector = LinearGradient(amplitude=amplitude)
+        workload = SyntheticWorkload(regions=(
+            RegionSpec(name="k", compute=1e-3, injector=injector),))
+        _, _, measurements = workload.run(size)
+        matrix = dispersion_matrix(measurements)
+        comp = measurements.activity_index("computation")
+        assert matrix[0, comp] == pytest.approx(
+            predicted_dispersion(injector, size), rel=1e-9)

@@ -1,0 +1,107 @@
+"""Property-based tests: majorization is a well-behaved preorder and the
+dispersion indices respect it."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (euclidean_distance, lorenz_dominates, majorizes,
+                        standardize, t_transform, weakly_majorizes)
+
+simplex_vectors = st.lists(
+    st.floats(min_value=1e-6, max_value=1e3, allow_nan=False,
+              allow_infinity=False),
+    min_size=2, max_size=16,
+).map(lambda values: standardize(values))
+
+paired = st.integers(min_value=2, max_value=16).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.floats(min_value=1e-6, max_value=1e3), min_size=n,
+                 max_size=n).map(standardize),
+        st.lists(st.floats(min_value=1e-6, max_value=1e3), min_size=n,
+                 max_size=n).map(standardize)))
+
+
+@given(simplex_vectors)
+def test_reflexivity(x):
+    assert majorizes(x, x)
+
+
+@given(simplex_vectors)
+def test_permutation_equivalence(x):
+    shuffled = np.roll(x, 1)
+    assert majorizes(x, shuffled) and majorizes(shuffled, x)
+
+
+@given(paired)
+def test_antisymmetry_up_to_permutation(pair):
+    x, y = pair
+    if majorizes(x, y) and majorizes(y, x):
+        np.testing.assert_allclose(np.sort(x), np.sort(y), atol=1e-7)
+
+
+@settings(max_examples=200)
+@given(st.integers(min_value=2, max_value=12).flatmap(
+    lambda n: st.tuples(*[
+        st.lists(st.floats(min_value=1e-6, max_value=1e3), min_size=n,
+                 max_size=n).map(standardize) for _ in range(3)])))
+def test_transitivity(triple):
+    x, y, z = triple
+    if majorizes(x, y) and majorizes(y, z):
+        assert majorizes(x, z)
+
+
+@given(simplex_vectors)
+def test_balanced_is_global_minimum(x):
+    balanced = np.full(x.size, 1.0 / x.size)
+    assert majorizes(x, balanced)
+
+
+@given(simplex_vectors)
+def test_concentrated_is_global_maximum(x):
+    top = np.zeros(x.size)
+    top[0] = 1.0
+    assert majorizes(top, x)
+
+
+@given(paired)
+def test_majorization_equals_lorenz_dominance(pair):
+    x, y = pair
+    assert majorizes(x, y) == lorenz_dominates(x, y)
+
+
+@given(paired)
+def test_majorization_implies_weak_majorization(pair):
+    x, y = pair
+    if majorizes(x, y):
+        assert weakly_majorizes(x, y)
+
+
+@given(paired)
+def test_euclidean_respects_the_order(pair):
+    """If x majorizes y then x is at least as dispersed as y — the
+    fundamental requirement for an index of dispersion in the paper's
+    majorization framework."""
+    x, y = pair
+    if majorizes(x, y):
+        assert euclidean_distance(x) >= euclidean_distance(y) - 1e-9
+
+
+@settings(max_examples=150)
+@given(simplex_vectors,
+       st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15),
+                          st.floats(min_value=0.0, max_value=0.5)),
+                min_size=1, max_size=8))
+def test_t_transform_chains_stay_majorized(x, transfers):
+    """Any chain of Robin Hood transfers stays majorized by the start
+    (Hardy–Littlewood–Pólya, one direction)."""
+    current = x.copy()
+    for donor, recipient, fraction in transfers:
+        donor %= x.size
+        recipient %= x.size
+        if donor == recipient:
+            continue
+        current = t_transform(current, donor, recipient, fraction)
+    assert majorizes(x, current)
+    assert current.sum() == pytest.approx(1.0)

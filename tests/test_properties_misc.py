@@ -1,0 +1,112 @@
+"""Property-based tests: clustering, partitions, patterns, trace files."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.apps import block_partition, weighted_partition
+from repro.core import Band, classify, kmeans
+from repro.instrument import TraceEvent, read_trace, write_trace
+
+points = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(min_value=2, max_value=25),
+              st.integers(min_value=1, max_value=4)),
+    elements=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+
+
+class TestKMeansProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(points, st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=5))
+    def test_labels_valid_and_inertia_bounded(self, data, k, seed):
+        k = min(k, data.shape[0])
+        result = kmeans(data, k, seed=seed, restarts=2)
+        assert result.labels.shape == (data.shape[0],)
+        assert set(result.labels.tolist()) <= set(range(k))
+        # Inertia can never exceed the 1-cluster inertia.
+        total = float(((data - data.mean(axis=0)) ** 2).sum())
+        assert result.inertia <= total + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(points, st.integers(min_value=0, max_value=3))
+    def test_more_clusters_never_hurt(self, data, seed):
+        if data.shape[0] < 3:
+            return
+        two = kmeans(data, 2, seed=seed)
+        three = kmeans(data, 3, seed=seed)
+        assert three.inertia <= two.inertia + 1e-6
+
+
+class TestPartitionProperties:
+    @given(st.integers(min_value=0, max_value=10 ** 6),
+           st.integers(min_value=1, max_value=64))
+    def test_block_partition_exact_and_fair(self, n, parts):
+        counts = block_partition(n, parts)
+        assert sum(counts) == n
+        assert max(counts) - min(counts) <= 1
+        assert all(count >= 0 for count in counts)
+
+    @given(st.integers(min_value=0, max_value=10 ** 5),
+           st.lists(st.floats(min_value=0.01, max_value=100.0),
+                    min_size=1, max_size=32))
+    def test_weighted_partition_exact_and_proportional(self, n, weights):
+        counts = weighted_partition(n, weights)
+        assert sum(counts) == n
+        total = sum(weights)
+        for count, weight in zip(counts, weights):
+            assert abs(count - n * weight / total) < 1.0 + 1e-9
+
+
+class TestPatternProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False),
+                    min_size=1, max_size=64))
+    def test_classification_total_and_extremes(self, values):
+        bands = classify(values)
+        assert len(bands) == len(values)
+        data = np.asarray(values)
+        if data.max() > data.min():
+            assert bands[int(np.argmax(data))] is Band.MAX
+            assert bands[int(np.argmin(data))] is Band.MIN
+            # Some value attains each extreme.
+            assert Band.MAX in bands and Band.MIN in bands
+
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 6)
+                    .map(float), min_size=2, max_size=64),
+           st.floats(min_value=1.0, max_value=1000.0),
+           st.floats(min_value=0.0, max_value=1000.0))
+    def test_classification_affine_invariance(self, values, scale, shift):
+        original = classify(values)
+        transformed = classify([value * scale + shift for value in values])
+        assert original == transformed
+
+
+class TestTraceFileProperties:
+    events_strategy = st.lists(
+        st.builds(
+            lambda rank, region, activity, begin, span, kind, nbytes:
+            TraceEvent(rank=rank, region=region, activity=activity,
+                       begin=begin, end=begin + span, kind=kind,
+                       nbytes=nbytes),
+            rank=st.integers(min_value=0, max_value=64),
+            region=st.text(
+                alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                min_size=1, max_size=12),
+            activity=st.sampled_from(
+                ("computation", "point-to-point", "collective",
+                 "synchronization")),
+            begin=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            span=st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+            kind=st.sampled_from(("compute", "send", "recv", "wait")),
+            nbytes=st.integers(min_value=0, max_value=1 << 30)),
+        max_size=40)
+
+    @settings(max_examples=50, deadline=None)
+    @given(events_strategy)
+    def test_roundtrip(self, tmp_path_factory, events):
+        path = tmp_path_factory.mktemp("traces") / "trace.jsonl"
+        write_trace(path, events)
+        assert read_trace(path) == events

@@ -1,0 +1,133 @@
+"""Property-based tests of the views and of profile aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (MeasurementSet, compute_activity_and_region_views,
+                        compute_processor_view, dispersion_matrix)
+
+tensors = st.tuples(
+    st.integers(min_value=1, max_value=5),     # regions
+    st.integers(min_value=1, max_value=4),     # activities
+    st.integers(min_value=2, max_value=8),     # processors
+).flatmap(lambda shape: hnp.arrays(
+    np.float64, shape,
+    # Zero (not performed) or a well-scaled positive time; subnormals
+    # would only exercise float underflow, not the methodology.
+    elements=st.one_of(st.just(0.0),
+                       st.floats(min_value=1e-6, max_value=100.0))))
+
+
+def non_degenerate(tensor):
+    return MeasurementSet(tensor) if tensor.sum() > 0 else None
+
+
+@settings(max_examples=100)
+@given(tensors)
+def test_dispersion_matrix_support_and_bounds(tensor):
+    ms = non_degenerate(tensor)
+    if ms is None:
+        return
+    matrix = dispersion_matrix(ms)
+    performed = ms.performed
+    assert np.array_equal(~np.isnan(matrix), performed)
+    n = ms.n_processors
+    finite = matrix[performed]
+    assert np.all(finite >= -1e-12)
+    assert np.all(finite <= np.sqrt(1.0 - 1.0 / n) + 1e-9)
+
+
+@settings(max_examples=100)
+@given(tensors)
+def test_views_are_convex_combinations(tensor):
+    """Each ID_A / ID_C is a weighted average of the ID_ij, so it must
+    lie within their range."""
+    ms = non_degenerate(tensor)
+    if ms is None:
+        return
+    activity_view, region_view = compute_activity_and_region_views(ms)
+    matrix = activity_view.dispersion
+    for j in range(ms.n_activities):
+        column = matrix[:, j]
+        if np.all(np.isnan(column)) or np.isnan(activity_view.index[j]):
+            continue
+        assert np.nanmin(column) - 1e-9 <= activity_view.index[j] \
+            <= np.nanmax(column) + 1e-9
+    for i in range(ms.n_regions):
+        row = matrix[i, :]
+        if np.all(np.isnan(row)) or np.isnan(region_view.index[i]):
+            continue
+        assert np.nanmin(row) - 1e-9 <= region_view.index[i] \
+            <= np.nanmax(row) + 1e-9
+
+
+@settings(max_examples=100)
+@given(tensors)
+def test_scaled_never_exceeds_unscaled(tensor):
+    """The scaling factors are shares of T, hence in [0, 1]."""
+    ms = non_degenerate(tensor)
+    if ms is None:
+        return
+    activity_view, region_view = compute_activity_and_region_views(ms)
+    for raw, scaled in ((activity_view.index, activity_view.scaled_index),
+                        (region_view.index, region_view.scaled_index)):
+        mask = ~np.isnan(raw)
+        assert np.all(scaled[mask] <= raw[mask] + 1e-12)
+        assert np.all(scaled[mask] >= -1e-12)
+
+
+@settings(max_examples=100)
+@given(tensors)
+def test_processor_permutation_equivariance(tensor):
+    """Relabelling processors permutes ID_P and leaves ID_ij unchanged."""
+    ms = non_degenerate(tensor)
+    if ms is None:
+        return
+    permutation = np.roll(np.arange(ms.n_processors), 1)
+    permuted = MeasurementSet(tensor[:, :, permutation])
+    np.testing.assert_allclose(
+        np.nan_to_num(dispersion_matrix(ms)),
+        np.nan_to_num(dispersion_matrix(permuted)), atol=1e-9)
+    original_view = compute_processor_view(ms).dispersion
+    permuted_view = compute_processor_view(permuted).dispersion
+    np.testing.assert_allclose(original_view[:, permutation],
+                               permuted_view, atol=1e-9)
+
+
+@settings(max_examples=100)
+@given(tensors, st.floats(min_value=0.1, max_value=100.0))
+def test_time_rescaling_invariance(tensor, scale):
+    """Measuring in different units must not change any index."""
+    ms = non_degenerate(tensor)
+    if ms is None:
+        return
+    scaled_ms = MeasurementSet(tensor * scale)
+    np.testing.assert_allclose(
+        np.nan_to_num(dispersion_matrix(ms)),
+        np.nan_to_num(dispersion_matrix(scaled_ms)), atol=1e-9)
+    view = compute_activity_and_region_views(ms)[0]
+    scaled_view = compute_activity_and_region_views(scaled_ms)[0]
+    np.testing.assert_allclose(np.nan_to_num(view.scaled_index),
+                               np.nan_to_num(scaled_view.scaled_index),
+                               atol=1e-9)
+
+
+@settings(max_examples=50)
+@given(tensors)
+def test_balanced_tensor_has_zero_indices(tensor):
+    """Replacing every processor's time with the mean zeroes the
+    activity/region views (but not necessarily ID_P, which compares
+    activity *mixes*)."""
+    ms = non_degenerate(tensor)
+    if ms is None:
+        return
+    balanced = np.repeat(tensor.mean(axis=2, keepdims=True),
+                         ms.n_processors, axis=2)
+    balanced_ms = MeasurementSet(balanced)
+    matrix = dispersion_matrix(balanced_ms)
+    assert np.all(np.nan_to_num(matrix) <= 1e-9)
+    view = compute_processor_view(balanced_ms)
+    np.testing.assert_allclose(view.dispersion, 0.0, atol=1e-9)

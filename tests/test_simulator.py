@@ -1,0 +1,163 @@
+"""Unit tests for the simulator facade and trace emission."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.instrument import Tracer
+from repro.simmpi import NetworkModel, Simulator
+
+FAST = NetworkModel(latency=1e-4, bandwidth=1e8, overhead=1e-6,
+                    eager_threshold=4096)
+
+
+class TestSimulatorFacade:
+    def test_program_arguments_forwarded(self):
+        def program(comm, factor, offset=0.0):
+            yield from comm.compute(factor * (comm.rank + 1) + offset)
+
+        result = Simulator(3, network=FAST).run(program, 0.1, offset=0.05)
+        assert result.clocks[2] == pytest.approx(0.35)
+
+    def test_return_values_collected(self):
+        def program(comm):
+            yield from comm.compute(0.0)
+            return comm.rank * 10
+
+        result = Simulator(4, network=FAST).run(program)
+        assert result.returns == [0, 10, 20, 30]
+
+    def test_rejects_non_generator(self):
+        def not_a_generator(comm):
+            return 42
+
+        with pytest.raises(SimulationError):
+            Simulator(2, network=FAST).run(not_a_generator)
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(SimulationError):
+            Simulator(0)
+
+    def test_elapsed_is_max_clock(self):
+        def program(comm):
+            yield from comm.compute(float(comm.rank))
+
+        result = Simulator(4, network=FAST).run(program)
+        assert result.elapsed == pytest.approx(3.0)
+
+    def test_determinism(self):
+        def program(comm):
+            yield from comm.compute(0.01 * comm.rank)
+            yield from comm.allreduce(2048)
+            if comm.rank == 0:
+                yield from comm.send(1, 999)
+            elif comm.rank == 1:
+                yield from comm.recv(0)
+
+        first = Simulator(4, network=FAST).run(program)
+        second = Simulator(4, network=FAST).run(program)
+        assert first.clocks == second.clocks
+        assert first.messages == second.messages
+
+
+class TestTraceEmission:
+    def run_traced(self, program, n_ranks=2):
+        tracer = Tracer()
+        result = Simulator(n_ranks, network=FAST,
+                           trace_sink=tracer.record).run(program)
+        return result, tracer
+
+    def test_compute_event(self):
+        def program(comm):
+            with comm.region("r"):
+                yield from comm.compute(0.5)
+
+        result, tracer = self.run_traced(program, 1)
+        assert len(tracer) == 1
+        event = tracer.events[0]
+        assert event.region == "r"
+        assert event.activity == "computation"
+        assert event.duration == pytest.approx(0.5)
+
+    def test_events_are_gap_free_per_rank(self):
+        def program(comm):
+            with comm.region("r"):
+                yield from comm.compute(0.01 * (comm.rank + 1))
+                yield from comm.allreduce(1024)
+                if comm.rank == 0:
+                    yield from comm.send(1, 10 ** 5)
+                elif comm.rank == 1:
+                    yield from comm.recv(0)
+                yield from comm.barrier()
+
+        result, tracer = self.run_traced(program, 4)
+        for rank in range(4):
+            events = sorted(tracer.events_of(rank),
+                            key=lambda event: event.begin)
+            clock = 0.0
+            for event in events:
+                assert event.begin == pytest.approx(clock, abs=1e-12)
+                clock = event.end
+            assert clock == pytest.approx(result.clocks[rank])
+
+    def test_activity_classification(self):
+        def program(comm):
+            with comm.region("r"):
+                yield from comm.compute(0.1)
+                if comm.rank == 0:
+                    yield from comm.send(1, 10)
+                else:
+                    yield from comm.recv(0)
+                yield from comm.allreduce(64)
+                yield from comm.barrier()
+
+        _, tracer = self.run_traced(program)
+        activities = set(tracer.activities())
+        assert activities == {"computation", "point-to-point",
+                              "collective", "synchronization"}
+
+    def test_region_nesting_innermost_wins(self):
+        def program(comm):
+            with comm.region("outer"):
+                yield from comm.compute(0.1)
+                with comm.region("inner"):
+                    yield from comm.compute(0.2)
+
+        _, tracer = self.run_traced(program, 1)
+        regions = [event.region for event in tracer.events]
+        assert regions == ["outer", "inner"]
+
+    def test_outside_region_recorded(self):
+        def program(comm):
+            yield from comm.compute(0.1)
+
+        _, tracer = self.run_traced(program, 1)
+        from repro.instrument import OUTSIDE_REGION
+        assert tracer.events[0].region == OUTSIDE_REGION
+
+    def test_zero_duration_events_skipped(self):
+        def program(comm):
+            with comm.region("r"):
+                yield from comm.compute(0.0)
+
+        _, tracer = self.run_traced(program, 1)
+        assert len(tracer) == 0
+
+
+class TestWatchdog:
+    def test_runaway_program_aborted(self):
+        def spinner(comm):
+            while True:
+                yield from comm.compute(0.0)
+
+        with pytest.raises(SimulationError) as info:
+            Simulator(1, network=FAST, max_operations=1000).run(spinner)
+        assert "budget" in str(info.value)
+
+    def test_normal_programs_unaffected(self):
+        def program(comm):
+            for _ in range(100):
+                yield from comm.compute(1e-6)
+
+        result = Simulator(2, network=FAST, max_operations=10_000).run(
+            program)
+        assert result.elapsed > 0.0

@@ -1,0 +1,96 @@
+"""Unit tests for the standardization step."""
+
+import numpy as np
+import pytest
+
+from repro.core import (MeasurementSet, balanced_point, standardize,
+                        standardize_over_activities,
+                        standardize_over_processors,
+                        standardize_region_profiles)
+from repro.errors import StandardizationError
+
+
+class TestStandardizeVector:
+    def test_sums_to_one(self):
+        result = standardize([1.0, 2.0, 3.0])
+        assert result.sum() == pytest.approx(1.0)
+
+    def test_preserves_proportions(self):
+        result = standardize([1.0, 3.0])
+        assert result.tolist() == [0.25, 0.75]
+
+    def test_balanced_input(self):
+        result = standardize([5.0, 5.0, 5.0, 5.0])
+        np.testing.assert_allclose(result, balanced_point(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(StandardizationError):
+            standardize([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(StandardizationError):
+            standardize([1.0, -1.0])
+
+    def test_rejects_zero_sum(self):
+        with pytest.raises(StandardizationError):
+            standardize([0.0, 0.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(StandardizationError):
+            standardize([1.0, float("nan")])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(StandardizationError):
+            standardize(np.ones((2, 2)))
+
+
+class TestBalancedPoint:
+    def test_values(self):
+        np.testing.assert_allclose(balanced_point(5), np.full(5, 0.2))
+
+    def test_rejects_zero(self):
+        with pytest.raises(StandardizationError):
+            balanced_point(0)
+
+
+class TestTensorStandardizations:
+    def test_over_processors_sums(self, tiny_measurements):
+        standardized = standardize_over_processors(tiny_measurements)
+        sums = standardized.sum(axis=2)
+        performed = tiny_measurements.performed
+        np.testing.assert_allclose(sums[performed], 1.0)
+        np.testing.assert_allclose(sums[~performed], 0.0)
+
+    def test_over_processors_values(self, tiny_measurements):
+        standardized = standardize_over_processors(tiny_measurements)
+        # region A / activity Y: all 4.0 on processor 0.
+        assert standardized[0, 1].tolist() == [1.0, 0.0, 0.0, 0.0]
+        # region B / activity X: 1,2,3,2 over sum 8.
+        np.testing.assert_allclose(standardized[1, 0],
+                                   [0.125, 0.25, 0.375, 0.25])
+
+    def test_over_activities_sums(self, tiny_measurements):
+        standardized = standardize_over_activities(tiny_measurements)
+        sums = standardized.sum(axis=1)          # (N, P)
+        np.testing.assert_allclose(sums, 1.0)
+
+    def test_over_activities_profile(self, tiny_measurements):
+        standardized = standardize_over_activities(tiny_measurements)
+        # region A, processor 0: X=2, Y=4 -> (1/3, 2/3).
+        np.testing.assert_allclose(standardized[0, :, 0], [1 / 3, 2 / 3])
+        # region A, processor 1: X=2, Y=0 -> (1, 0).
+        np.testing.assert_allclose(standardized[0, :, 1], [1.0, 0.0])
+
+    def test_region_profiles(self, tiny_measurements):
+        profiles = standardize_region_profiles(tiny_measurements)
+        # region A: t_ij = (2, 4) under max aggregation -> (1/3, 2/3).
+        np.testing.assert_allclose(profiles[0], [1 / 3, 2 / 3])
+        np.testing.assert_allclose(profiles[1], [1.0, 0.0])
+
+    def test_zero_processor_slice_stays_zero(self):
+        times = np.zeros((1, 2, 3))
+        times[0, 0] = [1.0, 2.0, 0.0]
+        ms = MeasurementSet(times)
+        standardized = standardize_over_activities(ms)
+        # processor 2 has no time at all: its profile stays zero.
+        np.testing.assert_allclose(standardized[0, :, 2], 0.0)

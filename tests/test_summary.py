@@ -1,0 +1,54 @@
+"""Tests for the per-rank utilization summary."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.instrument import Tracer, render_utilization, utilization
+
+
+def make_tracer():
+    tracer = Tracer()
+    tracer.record(0, "r", "computation", 0.0, 0.6)
+    tracer.record(0, "r", "point-to-point", 0.6, 1.0, kind="send")
+    tracer.record(1, "r", "computation", 0.0, 0.5)   # idles from 0.5 to 1.0
+    return tracer
+
+
+class TestUtilization:
+    def test_shares(self):
+        summaries = utilization(make_tracer())
+        rank0 = summaries[0]
+        assert rank0.shares["computation"] == pytest.approx(0.6)
+        assert rank0.shares["point-to-point"] == pytest.approx(0.4)
+        assert rank0.idle == pytest.approx(0.0)
+        assert rank0.busy == pytest.approx(1.0)
+
+    def test_idle_share_from_early_finish(self):
+        summaries = utilization(make_tracer())
+        rank1 = summaries[1]
+        assert rank1.idle == pytest.approx(0.5)
+        assert rank1.shares["computation"] == pytest.approx(0.5)
+
+    def test_covers_all_ranks(self):
+        tracer = make_tracer()
+        tracer.record(3, "r", "computation", 0.0, 1.0)   # rank 2 missing
+        summaries = utilization(tracer)
+        assert len(summaries) == 4
+        assert summaries[2].idle == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            utilization(Tracer())
+
+    def test_render(self):
+        text = render_utilization(make_tracer())
+        assert "rank" in text and "idle" in text
+        assert "60.0%" in text
+
+    def test_simulator_traces_have_no_idle_before_finish(self, cfd_run):
+        """The engine's traces are gap-free: any idle share comes only
+        from ranks finishing before the global end."""
+        _, tracer, _ = cfd_run
+        summaries = utilization(tracer)
+        # Barrier-terminated programs end nearly together.
+        assert max(summary.idle for summary in summaries) < 0.05

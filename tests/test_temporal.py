@@ -1,0 +1,143 @@
+"""Tests for windowed profiles and the temporal (drift) analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import MeasurementSet, temporal_analysis
+from repro.errors import MeasurementError, TraceError
+from repro.instrument import Tracer, profile, window_profiles
+
+
+def make_tracer():
+    """Two ranks; the imbalance of region 'r' grows over three phases."""
+    tracer = Tracer()
+    for phase, skew in enumerate((0.0, 0.3, 0.6)):
+        begin = float(phase)
+        tracer.record(0, "r", "computation", begin, begin + 0.5 + skew)
+        tracer.record(1, "r", "computation", begin, begin + 0.5 - skew / 2)
+    return tracer
+
+
+class TestWindowProfiles:
+    def test_window_count_and_bounds(self):
+        windows = window_profiles(make_tracer(), 3)
+        assert len(windows) == 3
+        assert windows[0].begin == 0.0
+        assert windows[-1].end == pytest.approx(3.1)
+        assert windows[1].midpoint > windows[0].midpoint
+
+    def test_windows_partition_the_tensor(self):
+        """Summing the windowed tensors recovers the whole profile."""
+        tracer = make_tracer()
+        whole = profile(tracer)
+        windows = window_profiles(tracer, 4)
+        total = sum(window.measurements.times for window in windows)
+        np.testing.assert_allclose(total, whole.times, atol=1e-12)
+
+    def test_boundary_events_split_proportionally(self):
+        tracer = Tracer()
+        tracer.record(0, "r", "computation", 0.0, 2.0)
+        windows = window_profiles(tracer, 2)
+        assert len(windows) == 2
+        for window in windows:
+            assert window.measurements.times.sum() == pytest.approx(1.0)
+
+    def test_consistent_layout_across_windows(self):
+        tracer = Tracer()
+        tracer.record(0, "a", "computation", 0.0, 1.0)
+        tracer.record(0, "b", "point-to-point", 1.0, 2.0, kind="send")
+        windows = window_profiles(tracer, 2)
+        first, second = windows
+        assert first.measurements.regions == second.measurements.regions
+        assert first.measurements.activities == \
+            second.measurements.activities
+
+    def test_empty_windows_dropped(self):
+        tracer = Tracer()
+        tracer.record(0, "r", "computation", 0.0, 0.1)
+        tracer.record(0, "r", "computation", 0.9, 1.0)
+        windows = window_profiles(tracer, 10)
+        assert 1 <= len(windows) <= 3
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(TraceError):
+            window_profiles(Tracer(), 2)
+
+    def test_rejects_zero_windows(self):
+        with pytest.raises(TraceError):
+            window_profiles(make_tracer(), 0)
+
+
+class TestTemporalAnalysis:
+    def test_growing_imbalance_has_positive_slope(self):
+        windows = window_profiles(make_tracer(), 3)
+        analysis = temporal_analysis(windows)
+        trend = analysis.trend("r")
+        assert trend.slope > 0.0
+        assert trend.series[0] < trend.series[-1]
+        # The first window is perfectly balanced (ID 0), so the
+        # end-to-end amplification is measured from the first nonzero
+        # value onward and reported as 1.0 by convention.
+        assert trend.final > 0.5
+
+    def test_flat_imbalance_is_stationary(self):
+        tracer = Tracer()
+        for phase in range(3):
+            begin = float(phase)
+            tracer.record(0, "r", "computation", begin, begin + 1.0)
+            tracer.record(1, "r", "computation", begin, begin + 1.0)
+        analysis = temporal_analysis(window_profiles(tracer, 3))
+        assert analysis.stationary_regions() == ("r",)
+        assert analysis.drifting_regions() == ()
+
+    def test_accepts_bare_measurement_sets(self):
+        def skewed(delta):
+            times = np.zeros((1, 1, 2))
+            times[0, 0] = [1.0 + delta, 1.0 - delta]
+            return MeasurementSet(times, regions=("r",), activities=("X",))
+
+        analysis = temporal_analysis([skewed(0.0), skewed(0.2),
+                                      skewed(0.4)])
+        assert analysis.trend("r").slope > 0.0
+
+    def test_unknown_region_rejected(self):
+        analysis = temporal_analysis(window_profiles(make_tracer(), 2))
+        with pytest.raises(MeasurementError):
+            analysis.trend("nope")
+
+    def test_mismatched_regions_rejected(self):
+        a = MeasurementSet(np.ones((1, 1, 2)), regions=("a",),
+                           activities=("X",))
+        b = MeasurementSet(np.ones((1, 1, 2)), regions=("b",),
+                           activities=("X",))
+        with pytest.raises(MeasurementError):
+            temporal_analysis([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            temporal_analysis([])
+
+
+class TestWindowProfilesAt:
+    def test_explicit_boundaries(self):
+        from repro.instrument import window_profiles_at
+        windows = window_profiles_at(make_tracer(), [0.0, 1.0, 2.0, 3.1])
+        assert len(windows) == 3
+        assert windows[0].end == 1.0
+        # Phase-aligned: each window holds exactly one phase's events.
+        assert windows[0].measurements.times.sum() == pytest.approx(1.0)
+
+    def test_partial_coverage(self):
+        from repro.instrument import window_profiles_at
+        windows = window_profiles_at(make_tracer(), [1.0, 2.0])
+        assert len(windows) == 1
+        assert windows[0].begin == 1.0
+
+    def test_validation(self):
+        from repro.instrument import window_profiles_at
+        with pytest.raises(TraceError):
+            window_profiles_at(make_tracer(), [0.0])
+        with pytest.raises(TraceError):
+            window_profiles_at(make_tracer(), [1.0, 1.0])
+        with pytest.raises(TraceError):
+            window_profiles_at(make_tracer(), [100.0, 200.0])

@@ -1,0 +1,131 @@
+"""Tests for the tracefile testbed (trace repository)."""
+
+import pytest
+
+from repro import Testbed
+from repro.errors import TraceError
+from repro.instrument import Tracer
+
+
+def make_tracer(n_ranks=4, region="work"):
+    tracer = Tracer()
+    for rank in range(n_ranks):
+        tracer.record(rank, region, "computation", 0.0, 1.0 + rank * 0.1)
+    return tracer
+
+
+@pytest.fixture()
+def testbed(tmp_path):
+    return Testbed(tmp_path / "testbed")
+
+
+class TestStoreAndLoad:
+    def test_roundtrip(self, testbed):
+        entry = testbed.store(make_tracer(), "cfd", "sp2")
+        loaded = testbed.load(entry.trace_id)
+        assert len(loaded) == 4
+        assert loaded.n_ranks == 4
+
+    def test_entry_metadata(self, testbed):
+        entry = testbed.store(make_tracer(8), "cfd", "sp2",
+                              tags=("paper", "v1"))
+        assert entry.program == "cfd"
+        assert entry.machine == "sp2"
+        assert entry.n_ranks == 8
+        assert entry.events == 8
+        assert entry.regions == ("work",)
+        assert entry.tags == ("paper", "v1")
+        assert entry.elapsed == pytest.approx(1.7)
+
+    def test_auto_ids_increment(self, testbed):
+        first = testbed.store(make_tracer(), "cfd", "sp2")
+        second = testbed.store(make_tracer(), "cfd", "sp2")
+        assert first.trace_id != second.trace_id
+
+    def test_explicit_id(self, testbed):
+        entry = testbed.store(make_tracer(), "cfd", "sp2",
+                              trace_id="golden")
+        assert entry.trace_id == "golden"
+        assert "golden" in testbed
+
+    def test_duplicate_id_rejected(self, testbed):
+        testbed.store(make_tracer(), "cfd", "sp2", trace_id="x")
+        with pytest.raises(TraceError):
+            testbed.store(make_tracer(), "cfd", "sp2", trace_id="x")
+
+    def test_empty_trace_rejected(self, testbed):
+        with pytest.raises(TraceError):
+            testbed.store(Tracer(), "cfd", "sp2")
+
+    def test_missing_metadata_rejected(self, testbed):
+        with pytest.raises(TraceError):
+            testbed.store(make_tracer(), "", "sp2")
+
+    def test_unknown_id_rejected(self, testbed):
+        with pytest.raises(TraceError):
+            testbed.load("nope")
+
+    def test_remove(self, testbed):
+        entry = testbed.store(make_tracer(), "cfd", "sp2")
+        testbed.remove(entry.trace_id)
+        assert len(testbed) == 0
+        with pytest.raises(TraceError):
+            testbed.load(entry.trace_id)
+
+
+class TestPersistence:
+    def test_index_survives_reopen(self, tmp_path):
+        directory = tmp_path / "tb"
+        first = Testbed(directory)
+        entry = first.store(make_tracer(), "cfd", "sp2", tags=("a",))
+        reopened = Testbed(directory)
+        assert len(reopened) == 1
+        assert reopened.entries()[0] == entry
+        assert len(reopened.load(entry.trace_id)) == 4
+
+    def test_corrupt_index_detected(self, tmp_path):
+        directory = tmp_path / "tb"
+        Testbed(directory).store(make_tracer(), "cfd", "sp2")
+        (directory / "index.json").write_text("{broken")
+        with pytest.raises(TraceError):
+            Testbed(directory)
+
+
+class TestQuery:
+    @pytest.fixture()
+    def populated(self, testbed):
+        testbed.store(make_tracer(4), "cfd", "sp2", tags=("paper",))
+        testbed.store(make_tracer(16), "cfd", "fast")
+        testbed.store(make_tracer(8, region="kernel"), "nbody", "sp2")
+        return testbed
+
+    def test_query_by_program(self, populated):
+        assert len(populated.query(program="cfd")) == 2
+        assert len(populated.query(program="nbody")) == 1
+
+    def test_query_by_machine(self, populated):
+        assert len(populated.query(machine="sp2")) == 2
+
+    def test_query_by_rank_range(self, populated):
+        assert len(populated.query(min_ranks=8)) == 2
+        assert len(populated.query(min_ranks=8, max_ranks=8)) == 1
+
+    def test_query_by_tag(self, populated):
+        assert len(populated.query(tag="paper")) == 1
+
+    def test_query_by_region(self, populated):
+        assert len(populated.query(region="kernel")) == 1
+
+    def test_combined_filters(self, populated):
+        assert len(populated.query(program="cfd", machine="sp2")) == 1
+
+    def test_programs(self, populated):
+        assert populated.programs() == ("cfd", "nbody")
+
+    def test_retrieved_trace_is_analyzable(self, populated):
+        from repro.core import analyze
+        from repro.instrument import profile
+        entry = populated.query(program="nbody")[0]
+        analysis = analyze(profile(populated.load(entry.trace_id)),
+                           cluster_count=None)
+        assert analysis.breakdown.heaviest_region == "kernel"
