@@ -1,0 +1,142 @@
+"""Scalar vs vectorized batch analysis — the cost of the hot path.
+
+Computes every registered index of dispersion over synthetic
+``(N, K, P)`` sweeps twice: with the original per-cell scalar loop
+(:func:`repro.core.batch.scalar_dispersion_matrix`) and with the
+vectorized :class:`repro.core.BatchAnalysis` engine, checking the
+results agree within 1e-12 and reporting the speedup.  The acceptance
+bar is a >= 5x speedup at the largest sweep (``N=256, K=4, P=1024``).
+
+Run standalone::
+
+    python benchmarks/bench_batch.py            # full sweep, asserts 5x
+    python benchmarks/bench_batch.py --quick    # CI smoke run
+
+or through pytest (``pytest benchmarks/bench_batch.py -s``), which
+executes the quick differential smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (resolves when installed or PYTHONPATH=src)
+except ImportError:                                  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core import (BatchAnalysis, MeasurementSet, available_indices,
+                        scalar_dispersion_matrix)
+
+#: (N, K, P) sweep sizes; the last one is the acceptance point.
+SIZES = ((16, 4, 64), (64, 4, 256), (256, 4, 1024))
+QUICK_SIZES = ((16, 4, 64),)
+SPEEDUP_FLOOR = 5.0
+
+
+def synthetic_measurements(n: int, k: int, p: int) -> MeasurementSet:
+    """A deterministic tensor with imbalance and dash cells."""
+    rng = np.random.default_rng((n, k, p))
+    tensor = rng.uniform(0.5, 1.5, (n, k, p))
+    tensor[:, 1 % k, :] *= rng.uniform(size=(n, 1)) > 0.3
+    return MeasurementSet(tensor)
+
+
+def best_of(function, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def check_differential(measurements: MeasurementSet) -> None:
+    """Batch and scalar paths must agree within 1e-12 on every index."""
+    batch = BatchAnalysis(measurements)
+    for name in available_indices():
+        np.testing.assert_allclose(
+            batch.matrix(name), scalar_dispersion_matrix(measurements, name),
+            rtol=1e-12, atol=1e-12, err_msg=f"index {name!r} diverged")
+
+
+def run_sweep(sizes, repeats: int) -> list:
+    names = available_indices()
+    rows = []
+    for n, k, p in sizes:
+        measurements = synthetic_measurements(n, k, p)
+        check_differential(measurements)
+        scalar_time = best_of(
+            lambda: [scalar_dispersion_matrix(measurements, name)
+                     for name in names],
+            repeats)
+        batch_time = best_of(
+            lambda: BatchAnalysis(measurements).matrices(names),
+            repeats)
+        rows.append((n, k, p, scalar_time, batch_time,
+                     scalar_time / batch_time))
+    return rows
+
+
+def render(rows) -> str:
+    from repro.viz import format_table
+    table = [[str(n), str(k), str(p),
+              f"{scalar * 1e3:.1f}", f"{batch * 1e3:.1f}",
+              f"{speedup:.1f}x"]
+             for n, k, p, scalar, batch, speedup in rows]
+    return format_table(
+        ["N", "K", "P", "scalar (ms)", "batch (ms)", "speedup"],
+        table,
+        title=f"All {len(available_indices())} indices, "
+              "scalar loop vs batch engine")
+
+
+def test_batch_quick_smoke():
+    """Pytest entry point: differential equality plus a sanity speedup
+    on the small sweep (no absolute-performance assertion — machine
+    speed varies; the script's full mode enforces the 5x floor)."""
+    rows = run_sweep(QUICK_SIZES, repeats=2)
+    assert rows[0][5] > 0.0
+    print()
+    print(render(rows))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="scalar vs vectorized batch dispersion analysis")
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep only, no speedup assertion "
+                             "(CI smoke run)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of-R timing repeats (default 5)")
+    arguments = parser.parse_args(argv)
+    if arguments.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    sizes = QUICK_SIZES if arguments.quick else SIZES
+    repeats = min(arguments.repeats, 2) if arguments.quick \
+        else arguments.repeats
+    rows = run_sweep(sizes, repeats)
+    print(render(rows))
+
+    if arguments.quick:
+        print("\nquick mode: differential checks passed")
+        return 0
+    final_speedup = rows[-1][5]
+    n, k, p = sizes[-1]
+    if final_speedup < SPEEDUP_FLOOR:
+        print(f"\nFAIL: {final_speedup:.1f}x speedup at N={n}, K={k}, "
+              f"P={p} is below the {SPEEDUP_FLOOR:.0f}x floor")
+        return 1
+    print(f"\nOK: {final_speedup:.1f}x speedup at N={n}, K={k}, P={p} "
+          f"(floor: {SPEEDUP_FLOOR:.0f}x)")
+    return 0
+
+
+if __name__ == "__main__":                           # pragma: no cover
+    sys.exit(main())

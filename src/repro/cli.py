@@ -109,10 +109,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _command_analyze(arguments) -> int:
     from .instrument import read_any_tracer, profile
+    from .core import AnalysisSession
     tracer = read_any_tracer(arguments.tracefile)
     measurements = profile(tracer)
-    analysis = analyze(measurements, index=arguments.index)
-    print(render_full_report(analysis))
+    # One session backs every flag below: the report, the diagnosis and
+    # the significance scan all reuse the same cached matrices.
+    session = AnalysisSession(measurements)
+    analysis = session.analyze(index=arguments.index)
+    print(session.report(index=arguments.index))
     if arguments.patterns:
         from .viz import render_pattern_grid
         for grid in analysis.patterns:
@@ -123,9 +127,9 @@ def _command_analyze(arguments) -> int:
         print()
         print(render_region_lorenz(measurements, arguments.lorenz))
     if arguments.diagnose:
-        from .core import diagnose, render_diagnosis
+        from .core import render_diagnosis
         print()
-        print(render_diagnosis(diagnose(analysis)))
+        print(render_diagnosis(session.diagnosis(index=arguments.index)))
     if arguments.timeline:
         from .viz import render_timeline
         print()

@@ -8,9 +8,15 @@ Public surface:
 * the three dissimilarity views and their ranking criteria;
 * coarse-grain characterization, clustering and pattern classification;
 * :func:`analyze` / :class:`Methodology` — the end-to-end pipeline;
+* :class:`BatchAnalysis` / :class:`AnalysisSession` — the vectorized
+  batch engine and its memoization layer (:mod:`repro.core.batch`);
 * report rendering (the paper's tables as text).
 """
 
+from .batch import (AnalysisSession, BatchAnalysis,
+                    available_batch_kernels, batch_dispersion_matrix,
+                    get_batch_kernel, register_batch_kernel,
+                    scalar_dispersion_matrix)
 from .comparison import (ComparisonReport, RegionDelta,
                          compare, render_comparison)
 from .bootstrap import (BootstrapInterval, bootstrap_interval,
@@ -57,6 +63,9 @@ from .views import (ActivityView, CodeRegionView, ProcessorSummary,
                     compute_region_view, dispersion_matrix)
 
 __all__ = [
+    "AnalysisSession", "BatchAnalysis", "available_batch_kernels",
+    "batch_dispersion_matrix", "get_batch_kernel", "register_batch_kernel",
+    "scalar_dispersion_matrix",
     "ActivityExtremes", "ProgramBreakdown", "characterize",
     "BootstrapInterval", "bootstrap_interval", "region_intervals",
     "KMeansResult", "choose_k", "cluster_regions", "kmeans",

@@ -64,6 +64,15 @@ def _validate(values: Sequence[float]) -> np.ndarray:
         raise DispersionError("cannot measure the dispersion of an empty data set")
     if not np.all(np.isfinite(data)):
         raise DispersionError("data set contains non-finite values")
+    if not data.any():
+        # A not-performed "dash" cell.  Historically some indices
+        # returned 0.0 here (looking perfectly balanced) while cv, Gini
+        # and Theil raised — the matrix paths skip these cells, so a
+        # silent 0.0 could only mislead direct callers.  Every index now
+        # rejects them, matching the batch engine's validation.
+        raise DispersionError(
+            "data set is all zeros (a not-performed dash cell); "
+            "dispersion is undefined — mask such cells out instead")
     return data
 
 

@@ -72,15 +72,20 @@ class Efficiency:
 
 def efficiency(measurements: MeasurementSet,
                elapsed: Optional[float] = None,
-               useful_activity: str = USEFUL_ACTIVITY) -> Efficiency:
+               useful_activity: str = USEFUL_ACTIVITY,
+               useful_times: Optional[np.ndarray] = None) -> Efficiency:
     """Compute the factorization for one measurement set.
 
     ``elapsed`` defaults to the program wall clock ``T``; pass the
     simulator's measured elapsed when instrumentation coverage is
-    partial.
+    partial.  ``useful_times`` accepts the precomputed (P,) useful-work
+    vector (an :class:`~repro.core.batch.AnalysisSession` passes its
+    cached per-activity totals here).
     """
     j = measurements.activity_index(useful_activity)
-    useful = measurements.times[:, j, :].sum(axis=0)
+    useful = np.asarray(useful_times, dtype=float) \
+        if useful_times is not None \
+        else measurements.times[:, j, :].sum(axis=0)
     if useful.max() <= 0.0:
         raise MeasurementError(
             f"no {useful_activity!r} time recorded; cannot compute "

@@ -25,8 +25,7 @@ from .clustering import cluster_regions
 from .measurements import MeasurementSet
 from .patterns import PatternGrid, pattern_grid
 from .ranking import RankingResult, rank
-from .views import (ActivityView, CodeRegionView, ProcessorView,
-                    compute_activity_and_region_views, compute_processor_view)
+from .views import ActivityView, CodeRegionView, ProcessorView
 
 
 @dataclass(frozen=True)
@@ -85,17 +84,28 @@ class Methodology:
     cluster_count: Optional[int] = 2
     seed: int = 0
 
-    def analyze(self, measurements: MeasurementSet) -> AnalysisResult:
-        """Run the full methodology on one measurement set."""
+    def analyze(self, measurements: MeasurementSet,
+                session: Optional["AnalysisSession"] = None
+                ) -> AnalysisResult:
+        """Run the full methodology on one measurement set.
+
+        Pass an :class:`~repro.core.batch.AnalysisSession` to share its
+        cached standardized tensors and dispersion matrices (the session
+        creates one analysis per option set and memoizes it); without
+        one, a private session backs this single run.
+        """
+        from .batch import AnalysisSession
+        if session is None:
+            session = AnalysisSession(measurements)
         breakdown = characterize(measurements)
         if self.cluster_count and measurements.n_regions > self.cluster_count:
             clusters = cluster_regions(measurements, self.cluster_count,
                                        seed=self.seed)
         else:
             clusters = (tuple(measurements.regions),)
-        processor_view = compute_processor_view(measurements)
-        activity_view, region_view = compute_activity_and_region_views(
-            measurements, index=self.index, weighting=self.weighting)
+        processor_view = session.processor_view()
+        activity_view, region_view = session.views(self.index,
+                                                   self.weighting)
         activity_values = {
             name: float(value) for name, value in
             zip(measurements.activities, activity_view.scaled_index)
@@ -126,7 +136,13 @@ class Methodology:
         )
 
 
-def analyze(measurements: MeasurementSet, **options) -> AnalysisResult:
+def analyze(measurements: MeasurementSet, session=None,
+            **options) -> AnalysisResult:
     """One-call entry point: ``analyze(measurements)`` runs the paper's
-    methodology with its default choices."""
-    return Methodology(**options).analyze(measurements)
+    methodology with its default choices.
+
+    ``session`` optionally names an
+    :class:`~repro.core.batch.AnalysisSession` whose caches should back
+    (and memoize) the run.
+    """
+    return Methodology(**options).analyze(measurements, session=session)

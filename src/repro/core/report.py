@@ -139,7 +139,15 @@ def render_summary(result: AnalysisResult) -> str:
 
 
 def render_full_report(result: AnalysisResult) -> str:
-    """Everything: the four tables followed by the narrative summary."""
+    """Everything: the four tables followed by the narrative summary.
+
+    Accepts an :class:`~repro.core.methodology.AnalysisResult` or an
+    :class:`~repro.core.batch.AnalysisSession` (whose cached default
+    analysis and rendered text are then reused).
+    """
+    from .batch import AnalysisSession
+    if isinstance(result, AnalysisSession):
+        return result.report()
     parts = [
         render_breakdown_table(result.measurements),
         render_dispersion_table(result.activity_view),

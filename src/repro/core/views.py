@@ -27,15 +27,13 @@ zero anyway, since ``t_ij = 0``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..errors import DispersionError
-from .dispersion import get_index
+from .batch import BatchAnalysis, batch_dispersion_matrix
 from .measurements import MeasurementSet
-from .standardize import (standardize_over_activities,
-                          standardize_over_processors)
 
 
 def dispersion_matrix(measurements: MeasurementSet,
@@ -44,18 +42,12 @@ def dispersion_matrix(measurements: MeasurementSet,
 
     ``ID_ij`` is computed on the times of activity *j* in region *i*
     standardized across processors; pairs the region does not perform are
-    ``nan``.
+    ``nan``.  Evaluated by the vectorized batch engine
+    (:mod:`repro.core.batch`) in one pass over all performed cells; the
+    per-cell scalar reference survives as
+    :func:`repro.core.batch.scalar_dispersion_matrix`.
     """
-    index_function = get_index(index)
-    standardized = standardize_over_processors(measurements)
-    performed = measurements.performed
-    n_regions, n_activities = performed.shape
-    matrix = np.full((n_regions, n_activities), np.nan)
-    for i in range(n_regions):
-        for j in range(n_activities):
-            if performed[i, j]:
-                matrix[i, j] = index_function(standardized[i, j, :])
-    return matrix
+    return batch_dispersion_matrix(measurements, index)
 
 
 def _weighted_average(values: np.ndarray, weights: np.ndarray) -> float:
@@ -246,21 +238,10 @@ def compute_processor_view(measurements: MeasurementSet,
     activities; the index is the Euclidean distance (or the chosen index
     applied to the deviations) between the processor's profile and the
     average profile over processors.  Only activities the region performs
-    enter the profile.
+    enter the profile (not-performed activities contribute exactly zero,
+    so the batch engine evaluates all regions in one tensor pass).
     """
-    standardized = standardize_over_activities(measurements)
-    performed = measurements.performed
-    n_regions = measurements.n_regions
-    n_processors = measurements.n_processors
-    matrix = np.zeros((n_regions, n_processors))
-    for i in range(n_regions):
-        active = performed[i, :]
-        if not np.any(active):
-            continue
-        profiles = standardized[i, active, :]          # (k_active, P)
-        mean_profile = profiles.mean(axis=1, keepdims=True)
-        deviations = profiles - mean_profile
-        matrix[i, :] = np.sqrt((deviations ** 2).sum(axis=0))
+    matrix = BatchAnalysis(measurements).processor_dispersion().copy()
     if index != "euclidean":
         # Generalized processor view: apply the chosen index to each
         # processor's deviation profile magnitude is not meaningful for
@@ -277,6 +258,7 @@ def compute_activity_and_region_views(
         measurements: MeasurementSet,
         index: str = "euclidean",
         weighting: str = "time",
+        dispersion: Optional[np.ndarray] = None,
 ) -> Tuple[ActivityView, CodeRegionView]:
     """Compute the activity and code-region views in one pass.
 
@@ -286,11 +268,15 @@ def compute_activity_and_region_views(
       ``t_ij / t_i`` per region);
     * ``"uniform"`` — unweighted averages over performed pairs (used by
       the weighting ablation).
+
+    ``dispersion`` accepts a precomputed ``ID_ij`` matrix (from the
+    batch engine's caches) so repeated analyses skip the heavy pass.
     """
     if weighting not in ("time", "uniform"):
         raise DispersionError(
             f"weighting must be 'time' or 'uniform', got {weighting!r}")
-    matrix = dispersion_matrix(measurements, index=index)
+    matrix = dispersion if dispersion is not None \
+        else dispersion_matrix(measurements, index=index)
     t_ij = measurements.region_activity_times
     total = measurements.total_time
     activity_times = measurements.activity_times

@@ -104,6 +104,41 @@ class TestOtherIndices:
         assert imbalance_time([2.0, 4.0, 6.0]) == pytest.approx(2.0)
 
 
+class TestDashCells:
+    """Regression: all-zero data sets ("dash" cells the paper prints as
+    ``-``) are rejected by *every* index.
+
+    Historically euclidean/variance/mad/max/range/sum returned 0.0 on
+    all-zero input — making a not-performed cell look perfectly
+    balanced — while cv, Gini and Theil raised.  Scalar and batch paths
+    now raise identically; the matrix paths skip dash cells as ``nan``.
+    """
+
+    ZEROS = [0.0, 0.0, 0.0]
+
+    def test_every_index_rejects_all_zero(self):
+        for name in available_indices():
+            with pytest.raises(DispersionError):
+                get_index(name)(self.ZEROS)
+
+    def test_imbalance_time_rejects_all_zero(self):
+        with pytest.raises(DispersionError):
+            imbalance_time(self.ZEROS)
+
+    def test_single_zero_rejected(self):
+        with pytest.raises(DispersionError):
+            euclidean_distance([0.0])
+
+    def test_negative_zero_counts_as_zero(self):
+        with pytest.raises(DispersionError):
+            euclidean_distance([0.0, -0.0])
+
+    def test_mixed_sign_zero_sum_still_accepted(self):
+        # Only *all-zero* data is a dash cell; a zero-sum mix is valid
+        # input for the sign-agnostic indices.
+        assert euclidean_distance([1.0, -1.0]) == pytest.approx(np.sqrt(2))
+
+
 class TestScaleBehaviour:
     """Euclidean on *standardized* data is scale-free by construction."""
 

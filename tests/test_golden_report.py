@@ -5,11 +5,20 @@ The reconstruction, the analysis and the rendering are all
 deterministic, so any diff here means a behaviour change in one of
 them; update `docs/paper_report.txt` deliberately if the change is
 intended (`python -c "..."` recipe in the file's git history).
+
+The batch-engine variants below pin the vectorized rewire: the session
+path, the batch-backed views, and the scalar reference loop must all
+render the very same bytes — the engine may change *how* Tables 1–4
+are computed, never a single published number.
 """
 
 from pathlib import Path
 
-from repro.core import analyze, render_full_report
+import numpy as np
+
+from repro.core import (AnalysisSession, BatchAnalysis, analyze,
+                        batch_dispersion_matrix, render_full_report,
+                        scalar_dispersion_matrix)
 
 GOLDEN = Path(__file__).resolve().parent.parent / "docs" / "paper_report.txt"
 
@@ -19,3 +28,37 @@ def test_paper_report_matches_golden_file(paper_measurements):
     assert rendered == GOLDEN.read_text(), (
         "rendered report drifted from docs/paper_report.txt; "
         "regenerate the golden file if the change is intentional")
+
+
+def test_session_report_matches_golden_file(paper_measurements):
+    """The memoized session path renders the same bytes."""
+    session = AnalysisSession(paper_measurements)
+    assert session.report() + "\n" == GOLDEN.read_text()
+    # render_full_report(session) reuses the cached text verbatim.
+    assert render_full_report(session) is session.report()
+
+
+def test_batch_and_scalar_render_identically(paper_measurements):
+    """Byte-compare the report built from the batch engine's matrix
+    against one built from the scalar reference loop: the vectorized
+    rewire changes no published number."""
+    from repro.core.views import compute_activity_and_region_views
+
+    def render(matrix):
+        activity_view, _ = compute_activity_and_region_views(
+            paper_measurements, dispersion=matrix)
+        from repro.core.report import render_dispersion_table
+        return render_dispersion_table(activity_view)
+
+    batch_table = render(batch_dispersion_matrix(paper_measurements))
+    scalar_table = render(scalar_dispersion_matrix(paper_measurements))
+    assert batch_table == scalar_table
+    assert batch_table in GOLDEN.read_text()
+
+
+def test_batch_matrix_nan_pattern_matches_paper_dashes(paper_measurements):
+    """Dash cells in Table 2 are exactly the nan entries of the batch
+    matrix."""
+    matrix = BatchAnalysis(paper_measurements).matrix("euclidean")
+    assert np.array_equal(np.isnan(matrix),
+                          ~paper_measurements.performed)
