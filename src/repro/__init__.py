@@ -7,7 +7,8 @@ a discrete-event MPI simulator (:mod:`repro.simmpi`), tracing and
 profiling (:mod:`repro.instrument`), the CFD and synthetic workloads
 (:mod:`repro.apps`), the calibrated reconstruction of the paper's
 dataset (:mod:`repro.calibrate`), classic baselines
-(:mod:`repro.baselines`) and text rendering (:mod:`repro.viz`).
+(:mod:`repro.baselines`), text rendering (:mod:`repro.viz`) and the
+fault-injection validation subsystem (:mod:`repro.faults`).
 
 Quickstart::
 
@@ -17,7 +18,8 @@ Quickstart::
     print(render_full_report(analyze(measurements)))
 """
 
-from . import apps, baselines, calibrate, core, instrument, simmpi, viz
+from . import (apps, baselines, calibrate, core, faults, instrument, simmpi,
+               viz)
 from .apps import CFDConfig, SyntheticWorkload, run_cfd
 from .calibrate import reconstruct
 from .core import (AnalysisResult, MeasurementSet, Methodology, analyze,
@@ -30,7 +32,8 @@ from .simmpi import NetworkModel, Simulator
 __version__ = "1.0.0"
 
 __all__ = [
-    "apps", "baselines", "calibrate", "core", "instrument", "simmpi", "viz",
+    "apps", "baselines", "calibrate", "core", "faults", "instrument",
+    "simmpi", "viz",
     "CFDConfig", "SyntheticWorkload", "run_cfd",
     "reconstruct",
     "AnalysisResult", "MeasurementSet", "Methodology", "analyze",

@@ -13,9 +13,18 @@ stack.  Subcommands:
   analyze it, optionally keep the trace.
 * ``repro counters TRACEFILE``  — the dissimilarity analysis on counting
   parameters (messages or bytes) instead of timings.
+* ``repro faults``              — fault injection as validation: run the
+  blame-localization campaign and score precision/recall.
 
 Trace files may be JSONL (optionally gzipped) or the compact binary
-format (``.rptb``); the readers sniff the format.
+format (``.rptb``); the readers sniff the format.  Damaged trace files
+are salvaged with a warning by default; ``--strict`` makes any damage
+fatal.
+
+Exit codes: ``0`` success, ``1`` a check failed (``repro paper``
+verification, ``repro faults --require-perfect``), ``2`` an expected
+error (bad arguments, unreadable input, any :class:`ReproError`),
+``3`` an internal error (set ``REPRO_DEBUG=1`` for the traceback).
 
 Invoke as ``python -m repro <subcommand> ...``.
 """
@@ -23,7 +32,9 @@ Invoke as ``python -m repro <subcommand> ...``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from . import __version__
@@ -71,6 +82,13 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument("--whatif", action="store_true",
                              help="also print the balancing what-if "
                                   "table")
+    analyze_cmd.add_argument("--strict", action="store_true",
+                             help="refuse damaged trace files instead "
+                                  "of salvaging their valid prefix")
+    analyze_cmd.add_argument("--drop-missing-ranks", action="store_true",
+                             help="exclude ranks with no recorded "
+                                  "events (e.g. lost from a salvaged "
+                                  "trace) from the analysis")
 
     commands.add_parser(
         "paper", help="reproduce the paper's application example")
@@ -104,14 +122,39 @@ def _build_parser() -> argparse.ArgumentParser:
     counters_cmd.add_argument("tracefile")
     counters_cmd.add_argument("--counter", default="messages",
                               choices=("messages", "bytes", "events"))
+    counters_cmd.add_argument("--strict", action="store_true",
+                              help="refuse damaged trace files instead "
+                                   "of salvaging their valid prefix")
+
+    faults_cmd = commands.add_parser(
+        "faults", help="fault injection as validation of the "
+                       "methodology's localization")
+    faults_cmd.add_argument("--campaign", action="store_true",
+                            help="run the blame-localization campaign "
+                                 "and print the precision/recall table")
+    faults_cmd.add_argument("--criterion", default="maximum",
+                            choices=("maximum", "elbow", "percentile",
+                                     "share"),
+                            help="ranking criterion used for the blame "
+                                 "claims (default: maximum)")
+    faults_cmd.add_argument("--require-perfect", action="store_true",
+                            help="exit non-zero unless every fault is "
+                                 "localized and every claim is correct")
     return parser
 
 
 def _command_analyze(arguments) -> int:
     from .instrument import read_any_tracer, profile
     from .core import AnalysisSession
-    tracer = read_any_tracer(arguments.tracefile)
+    on_error = "raise" if arguments.strict else "salvage"
+    tracer = read_any_tracer(arguments.tracefile, on_error=on_error)
     measurements = profile(tracer)
+    if arguments.drop_missing_ranks:
+        missing = measurements.missing_processors()
+        if missing:
+            print("dropping rank(s) with no recorded events: "
+                  + ", ".join(str(p) for p in missing) + "\n")
+            measurements = measurements.without_missing_processors()
     # One session backs every flag below: the report, the diagnosis and
     # the significance scan all reuse the same cached matrices.
     session = AnalysisSession(measurements)
@@ -191,7 +234,8 @@ def _command_cfd(arguments) -> int:
 def _command_counters(arguments) -> int:
     from .instrument import read_any_tracer
     from .instrument.counters import count_profile
-    tracer = read_any_tracer(arguments.tracefile)
+    on_error = "raise" if arguments.strict else "salvage"
+    tracer = read_any_tracer(arguments.tracefile, on_error=on_error)
     measurements = count_profile(tracer, counter=arguments.counter)
     analysis = analyze(measurements, cluster_count=None)
     print(f"counting parameter: {arguments.counter}\n")
@@ -226,24 +270,70 @@ def _command_testbed(arguments) -> int:
     return 0
 
 
+def _command_faults(arguments) -> int:
+    from .faults import default_campaign, run_campaign
+    if not arguments.campaign:
+        print("default blame-localization campaign "
+              "(run with --campaign to execute):\n")
+        for case in default_campaign():
+            print(f"  {case.name:22s} {case.plan.describe():44s} "
+                  f"-> {case.expected_region} / {case.expected_activity}"
+                  f" / ranks {case.expected_ranks}")
+        return 0
+    report = run_campaign(criterion=arguments.criterion)
+    print(report.render())
+    if arguments.require_perfect and not report.perfect:
+        print("\ncampaign is NOT perfect", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "analyze": _command_analyze,
     "paper": _command_paper,
     "cfd": _command_cfd,
     "counters": _command_counters,
     "testbed": _command_testbed,
+    "faults": _command_faults,
 }
 
 
+def _validate_file_arguments(arguments) -> None:
+    """Fail fast on unreadable file arguments, before any heavy work."""
+    tracefile = getattr(arguments, "tracefile", None)
+    if tracefile is None:
+        return
+    path = Path(tracefile)
+    if not path.exists():
+        raise ReproError(f"trace file {path} does not exist")
+    if path.is_dir():
+        raise ReproError(f"trace file {path} is a directory")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Expected failures (any :class:`ReproError`: bad input files, invalid
+    parameters, damaged traces in strict mode) print a one-line message
+    and exit ``2``.  Anything else is a bug in the tool itself: the
+    exception is summarized without a traceback and the exit code is
+    ``3``; set ``REPRO_DEBUG=1`` to re-raise for debugging.
+    """
     parser = _build_parser()
     arguments = parser.parse_args(argv)
     try:
+        _validate_file_arguments(arguments)
         return _COMMANDS[arguments.command](arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except Exception as error:                # noqa: BLE001 - last resort
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        print(f"internal error: {type(error).__name__}: {error}\n"
+              "(set REPRO_DEBUG=1 for the full traceback)",
+              file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":     # pragma: no cover

@@ -248,6 +248,51 @@ class MeasurementSet:
         return MeasurementSet(self.times[:, indices], self.regions,
                               tuple(names), aggregation=self.aggregation)
 
+    def subset_processors(self,
+                          processors: Sequence[int]) -> "MeasurementSet":
+        """Restrict to the given processor columns (order preserved).
+
+        The main use is masking processors whose measurements never made
+        it into a salvaged trace (see :func:`missing_processors`) so the
+        dispersion analysis compares only ranks that actually reported.
+        """
+        indices = list(processors)
+        if not indices:
+            raise MeasurementError("need at least one processor")
+        for p in indices:
+            if not 0 <= p < self.n_processors:
+                raise MeasurementError(
+                    f"processor {p} out of range (have "
+                    f"{self.n_processors})")
+        if len(set(indices)) != len(indices):
+            raise MeasurementError("processor indices must be unique")
+        return MeasurementSet(self.times[:, :, indices], self.regions,
+                              self.activities,
+                              aggregation=self.aggregation)
+
+    def missing_processors(self) -> tuple:
+        """Zero-based indices of processors with no recorded time at all.
+
+        An all-zero column typically means the rank's events were lost
+        (crashed before flushing, or cut off a salvaged trace) rather
+        than that the rank did nothing; :func:`subset_processors` with
+        the complement drops such ghosts before analysis.
+        """
+        return tuple(int(p) for p in range(self.n_processors)
+                     if not self.times[:, :, p].any())
+
+    def without_missing_processors(self) -> "MeasurementSet":
+        """Copy with all-zero processor columns dropped (no-op copy when
+        none are missing)."""
+        missing = set(self.missing_processors())
+        if not missing:
+            return self
+        keep = [p for p in range(self.n_processors) if p not in missing]
+        if not keep:
+            raise MeasurementError(
+                "every processor column is empty; nothing to analyze")
+        return self.subset_processors(keep)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"MeasurementSet(N={self.n_regions}, K={self.n_activities}, "
                 f"P={self.n_processors}, T={self.total_time:.6g}s, "

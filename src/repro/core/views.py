@@ -166,11 +166,29 @@ class ProcessorView:
     def n_processors(self) -> int:
         return self.measurements.n_processors
 
-    def most_imbalanced_processor(self, region: str) -> int:
+    def most_imbalanced_processor(self, region: str,
+                                  activity: Optional[str] = None) -> int:
         """Zero-based index of the processor with the largest ``ID_P`` in
-        the region."""
+        the region.
+
+        With ``activity`` given, drill one level further (the paper's
+        §3.3 walk ends by examining the critical activity's per-processor
+        times): rank the processors by their standardized share of that
+        activity within the region and return the most overloaded one.
+        This discriminates even when the region performs a single
+        activity, where all profile *shapes* coincide and ``ID_P`` ties.
+        """
         i = self.measurements.region_index(region)
-        return int(np.argmax(self.dispersion[i, :]))
+        if activity is None:
+            return int(np.argmax(self.dispersion[i, :]))
+        j = self.measurements.activity_index(activity)
+        times = self.measurements.times[i, j, :]
+        total = float(times.sum())
+        if total <= 0.0:
+            raise DispersionError(
+                f"region {region!r} spends no time in activity "
+                f"{activity!r}")
+        return int(np.argmax(times / total))
 
     def imbalance_counts(self) -> np.ndarray:
         """(P,) number of regions in which each processor attains the

@@ -52,6 +52,16 @@ class TraceError(ReproError):
     """A trace is malformed, out of order, or cannot be parsed."""
 
 
+class TraceWarning(UserWarning):
+    """A trace was readable only in part (e.g. a truncated file whose
+    valid prefix was salvaged)."""
+
+
+class FaultError(ReproError):
+    """A fault-injection plan is invalid, or an injected fault exceeded
+    the recovery budget (e.g. a message lost after all retries)."""
+
+
 class CalibrationError(ReproError):
     """The paper-data reconstruction failed to satisfy its constraints."""
 

@@ -1,0 +1,36 @@
+"""Fault injection and blame-localization campaigns.
+
+:mod:`repro.faults.plan` defines deterministic, seeded fault plans the
+simulator consumes — rank stragglers, link degradation, message jitter
+and loss with timeout/retransmit recovery, rank crashes with
+checkpoint/restart replay.  :mod:`repro.faults.campaign` sweeps plans
+with known blame sites over instrumented applications and scores whether
+the methodology's rankings localize them.
+"""
+
+from .campaign import (BlameClaim, CampaignApp, CampaignCase,
+                       CampaignReport, CaseResult, default_campaign,
+                       run_campaign, run_case)
+from .plan import (ANY_RANK, HEALTHY, FaultPlan, LinkDegradation,
+                   MessageDrop, MessageJitter, RankCrash, RetryPolicy,
+                   Straggler)
+
+__all__ = [
+    "ANY_RANK",
+    "HEALTHY",
+    "BlameClaim",
+    "CampaignApp",
+    "CampaignCase",
+    "CampaignReport",
+    "CaseResult",
+    "FaultPlan",
+    "LinkDegradation",
+    "MessageDrop",
+    "MessageJitter",
+    "RankCrash",
+    "RetryPolicy",
+    "Straggler",
+    "default_campaign",
+    "run_campaign",
+    "run_case",
+]

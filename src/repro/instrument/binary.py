@@ -22,10 +22,11 @@ Layout (little-endian):
 from __future__ import annotations
 
 import struct
+import warnings
 from pathlib import Path
 from typing import Iterable, List, Union
 
-from ..errors import TraceError
+from ..errors import TraceError, TraceWarning
 from .events import EVENT_KINDS, TraceEvent
 from .tracefile import read_trace as read_jsonl
 from .tracer import Tracer
@@ -71,8 +72,30 @@ def write_binary_trace(path: PathLike,
     return len(event_list)
 
 
-def read_binary_trace(path: PathLike) -> List[TraceEvent]:
-    """Read a binary trace file, validating every record."""
+def _salvage(source: Path, events: list, reason: str,
+             on_error: str) -> List[TraceEvent]:
+    if on_error == "raise" or not events:
+        raise TraceError(f"trace {source}: {reason}")
+    warnings.warn(TraceWarning(
+        f"trace {source}: {reason}; salvaged the first "
+        f"{len(events)} event(s)"), stacklevel=3)
+    return events
+
+
+def read_binary_trace(path: PathLike,
+                      on_error: str = "salvage") -> List[TraceEvent]:
+    """Read a binary trace file, validating every record.
+
+    ``on_error="salvage"`` (the default) tolerates a file truncated or
+    corrupted inside the event records — the valid prefix is returned
+    with a :class:`~repro.errors.TraceWarning`.  Damage before the first
+    record (header or string table) leaves nothing decodable and raises
+    :class:`~repro.errors.TraceError` in both modes, as does
+    ``on_error="raise"`` for any damage at all.
+    """
+    if on_error not in ("salvage", "raise"):
+        raise TraceError(
+            f"on_error must be 'salvage' or 'raise', got {on_error!r}")
     source = Path(path)
     if not source.exists():
         raise TraceError(f"trace file {source} does not exist")
@@ -87,6 +110,8 @@ def read_binary_trace(path: PathLike) -> List[TraceEvent]:
     offset = _HEADER.size
     table_bytes = data[offset:offset + table_length]
     if len(table_bytes) != table_length:
+        # Without the full string table no record can be decoded, so
+        # there is nothing to salvage.
         raise TraceError(f"{source} truncated inside the string table")
     try:
         names = ([part.decode("utf-8")
@@ -96,29 +121,36 @@ def read_binary_trace(path: PathLike) -> List[TraceEvent]:
         raise TraceError(f"corrupt string table: {error}") from error
     offset += table_length
     expected_bytes = count * _RECORD.size
-    if len(data) - offset != expected_bytes:
-        raise TraceError(
-            f"{source} truncated: header promises {count} events "
-            f"({expected_bytes} bytes), found {len(data) - offset}")
-    events = []
-    for record_index in range(count):
+    available = len(data) - offset
+    decodable = min(count, available // _RECORD.size)
+    events: List[TraceEvent] = []
+    for record_index in range(decodable):
         (rank, region_id, activity_id, begin, end, kind_id, nbytes,
          partner) = _RECORD.unpack_from(offset=offset +
                                         record_index * _RECORD.size,
                                         buffer=data)
         if region_id >= len(names) or activity_id >= len(names):
-            raise TraceError(
-                f"record {record_index}: name index out of range")
+            return _salvage(
+                source, events,
+                f"record {record_index}: name index out of range",
+                on_error)
         if kind_id >= len(EVENT_KINDS):
-            raise TraceError(f"record {record_index}: bad kind {kind_id}")
+            return _salvage(
+                source, events,
+                f"record {record_index}: bad kind {kind_id}", on_error)
         try:
             events.append(TraceEvent(
                 rank=rank, region=names[region_id],
                 activity=names[activity_id], begin=begin, end=end,
                 kind=EVENT_KINDS[kind_id], nbytes=nbytes, partner=partner))
         except TraceError as error:
-            raise TraceError(
-                f"record {record_index}: {error}") from error
+            return _salvage(source, events,
+                            f"record {record_index}: {error}", on_error)
+    if available != expected_bytes:
+        return _salvage(
+            source, events,
+            f"truncated: header promises {count} events "
+            f"({expected_bytes} bytes), found {available}", on_error)
     return events
 
 
@@ -138,18 +170,19 @@ def sniff_format(path: PathLike) -> str:
     return "unknown"
 
 
-def read_any(path: PathLike) -> List[TraceEvent]:
+def read_any(path: PathLike,
+             on_error: str = "salvage") -> List[TraceEvent]:
     """Read a trace file in whichever supported format it uses."""
     kind = sniff_format(path)
     if kind == "binary":
-        return read_binary_trace(path)
+        return read_binary_trace(path, on_error=on_error)
     if kind == "jsonl":
-        return read_jsonl(path)
+        return read_jsonl(path, on_error=on_error)
     raise TraceError(f"{path} is in no supported trace format")
 
 
-def read_any_tracer(path: PathLike) -> Tracer:
+def read_any_tracer(path: PathLike, on_error: str = "salvage") -> Tracer:
     """Read either format into a fresh :class:`Tracer`."""
     tracer = Tracer()
-    tracer.extend(read_any(path))
+    tracer.extend(read_any(path, on_error=on_error))
     return tracer

@@ -10,18 +10,24 @@ simple and self-describing:
   ``k`` (kind), ``n`` (nbytes), ``p`` (partner).
 
 Files ending in ``.gz`` are transparently gzip-compressed.  Reading
-validates the header and every event, so a corrupt or truncated file
-fails loudly instead of yielding a silently wrong profile.
+validates the header and every event.  A corrupt or truncated file is
+*salvaged* by default: the valid prefix of events is returned and a
+:class:`~repro.errors.TraceWarning` reports what was lost — a run that
+died mid-write should still be analyzable.  ``on_error="raise"``
+restores the strict behaviour, and a file whose header is unreadable
+(nothing salvageable) raises :class:`~repro.errors.TraceError` in both
+modes.
 """
 
 from __future__ import annotations
 
 import gzip
 import json
+import warnings
 from pathlib import Path
 from typing import Iterable, List, Union
 
-from ..errors import TraceError
+from ..errors import TraceError, TraceWarning
 from .events import TraceEvent
 from .tracer import Tracer
 
@@ -59,51 +65,92 @@ def write_tracer(path: PathLike, tracer: Tracer) -> int:
     return write_trace(path, tracer.events)
 
 
-def read_trace(path: PathLike) -> List[TraceEvent]:
-    """Read a trace file back into a list of events."""
-    source = Path(path)
-    if not source.exists():
-        raise TraceError(f"trace file {source} does not exist")
-    with _open(source, "r") as stream:
-        header_line = stream.readline()
-        if not header_line:
-            raise TraceError(f"trace file {source} is empty")
-        try:
-            header = json.loads(header_line)
-        except json.JSONDecodeError as error:
-            raise TraceError(f"bad trace header: {error}") from error
-        if header.get("format") != FORMAT_NAME:
-            raise TraceError(
-                f"not a {FORMAT_NAME} file (format={header.get('format')!r})")
-        if header.get("version") != FORMAT_VERSION:
-            raise TraceError(
-                f"unsupported trace version {header.get('version')!r}")
-        expected = header.get("events")
-        events: List[TraceEvent] = []
-        for line_number, line in enumerate(stream, start=2):
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-                event = TraceEvent(
-                    rank=int(record["r"]), region=str(record["g"]),
-                    activity=str(record["a"]), begin=float(record["b"]),
-                    end=float(record["e"]), kind=str(record["k"]),
-                    nbytes=int(record["n"]), partner=int(record["p"]))
-            except (json.JSONDecodeError, KeyError, TypeError,
-                    ValueError) as error:
-                raise TraceError(
-                    f"bad event at {source}:{line_number}: {error}") from error
-            events.append(event)
-    if expected is not None and expected != len(events):
+def _check_on_error(on_error: str) -> None:
+    if on_error not in ("salvage", "raise"):
         raise TraceError(
-            f"trace {source} truncated: header promises {expected} events, "
-            f"found {len(events)}")
+            f"on_error must be 'salvage' or 'raise', got {on_error!r}")
+
+
+def _salvage(source: Path, events: list, reason: str,
+             on_error: str) -> List[TraceEvent]:
+    if on_error == "raise" or not events:
+        raise TraceError(f"trace {source}: {reason}")
+    warnings.warn(TraceWarning(
+        f"trace {source}: {reason}; salvaged the first "
+        f"{len(events)} event(s)"), stacklevel=3)
     return events
 
 
-def read_tracer(path: PathLike) -> Tracer:
+def read_trace(path: PathLike,
+               on_error: str = "salvage") -> List[TraceEvent]:
+    """Read a trace file back into a list of events.
+
+    ``on_error`` controls what happens when the file is damaged past its
+    header: ``"salvage"`` (the default) returns the valid prefix of
+    events and issues a :class:`~repro.errors.TraceWarning`;
+    ``"raise"`` turns any damage into a :class:`~repro.errors.TraceError`.
+    A missing file, an unreadable header or a damaged file with no
+    salvageable events raises in both modes.
+    """
+    _check_on_error(on_error)
+    source = Path(path)
+    if not source.exists():
+        raise TraceError(f"trace file {source} does not exist")
+    events: List[TraceEvent] = []
+    expected = None
+    try:
+        with _open(source, "r") as stream:
+            header_line = stream.readline()
+            if not header_line:
+                raise TraceError(f"trace file {source} is empty")
+            try:
+                header = json.loads(header_line)
+            except json.JSONDecodeError as error:
+                raise TraceError(f"bad trace header: {error}") from error
+            if not isinstance(header, dict) \
+                    or header.get("format") != FORMAT_NAME:
+                raise TraceError(
+                    f"not a {FORMAT_NAME} file "
+                    f"(format={header.get('format')!r})"
+                    if isinstance(header, dict) else
+                    f"not a {FORMAT_NAME} file (header is not an object)")
+            if header.get("version") != FORMAT_VERSION:
+                raise TraceError(
+                    f"unsupported trace version {header.get('version')!r}")
+            expected = header.get("events")
+            for line_number, line in enumerate(stream, start=2):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                    event = TraceEvent(
+                        rank=int(record["r"]), region=str(record["g"]),
+                        activity=str(record["a"]), begin=float(record["b"]),
+                        end=float(record["e"]), kind=str(record["k"]),
+                        nbytes=int(record["n"]), partner=int(record["p"]))
+                except (json.JSONDecodeError, KeyError, TypeError,
+                        ValueError, TraceError) as error:
+                    return _salvage(
+                        source, events,
+                        f"bad event at line {line_number}: {error}",
+                        on_error)
+                events.append(event)
+    except (EOFError, OSError) as error:
+        # A truncated gzip stream surfaces as EOFError (or BadGzipFile,
+        # an OSError) anywhere during iteration — whatever decompressed
+        # cleanly before the damage is the salvageable prefix.
+        return _salvage(source, events, f"damaged stream: {error}",
+                        on_error)
+    if expected is not None and expected != len(events):
+        return _salvage(
+            source, events,
+            f"truncated: header promises {expected} events, "
+            f"found {len(events)}", on_error)
+    return events
+
+
+def read_tracer(path: PathLike, on_error: str = "salvage") -> Tracer:
     """Read a trace file into a fresh :class:`Tracer`."""
     tracer = Tracer()
-    tracer.extend(read_trace(path))
+    tracer.extend(read_trace(path, on_error=on_error))
     return tracer

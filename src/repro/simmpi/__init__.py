@@ -19,7 +19,7 @@ from .machines import (COMMODITY_CLUSTER, FAST_FABRIC, MACHINES,
 from .network import ZERO_COST, NetworkModel
 from .replay import replay, replay_program
 from .simulator import Simulator
-from .types import ANY_SOURCE, ANY_TAG, Message, Request
+from .types import ANY_SOURCE, ANY_TAG, Message, Request, Timeout
 
 __all__ = [
     "COLLECTIVE",
@@ -43,4 +43,5 @@ __all__ = [
     "ANY_TAG",
     "Message",
     "Request",
+    "Timeout",
 ]

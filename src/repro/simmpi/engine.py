@@ -38,7 +38,7 @@ from typing import Callable, Dict, Generator, List, Optional, Sequence
 from ..errors import CommunicatorError, DeadlockError, SimulationError
 from .network import NetworkModel
 from .types import (ANY_SOURCE, ANY_TAG, Compute, Elapsed, Message, RecvPost,
-                    Request, SendPost, Wait)
+                    Request, SendPost, Timeout, Wait)
 
 #: Signature of a trace sink: (rank, region, activity, begin, end, kind,
 #: nbytes, partner).
@@ -113,7 +113,8 @@ class Engine:
 
     def __init__(self, n_ranks: int, network: NetworkModel,
                  trace_sink: Optional[TraceSink] = None,
-                 max_operations: int = 50_000_000) -> None:
+                 max_operations: int = 50_000_000,
+                 fault_plan=None) -> None:
         if n_ranks < 1:
             raise SimulationError("need at least one rank")
         if max_operations < 1:
@@ -122,6 +123,13 @@ class Engine:
         self.network = network
         self.trace_sink = trace_sink
         self.max_operations = max_operations
+        #: Optional :class:`repro.faults.FaultPlan`; every fault hook is
+        #: guarded on it being present, so the healthy path is
+        #: byte-identical to an engine without the feature.  Link
+        #: degradations are NOT applied here — wrap the network with
+        #: ``fault_plan.wrap_network`` first (the Simulator does).
+        self._plan = fault_plan
+        self._crashed: set = set()
         self._operations = 0
         self._seq = 0
         self._pending_sends: Dict[int, List[_PendingSend]] = {
@@ -150,16 +158,57 @@ class Engine:
             rank = self._ready.popleft()
             self._advance(rank)
             if not self._ready and not all(s.done for s in self._states):
-                blocked = [f"rank {s.rank}: {s.blocked_on}"
-                           for s in self._states if not s.done]
-                raise DeadlockError(
-                    "all live ranks are blocked:\n  " + "\n  ".join(blocked))
+                raise DeadlockError(self._stall_report())
+        self._check_orphans()
         return SimulationResult(
             clocks=[s.clock for s in self._states],
             messages=self._messages,
             bytes_moved=self._bytes,
             returns=list(self._returns),
         )
+
+    # ------------------------------------------------------------------
+    # Stall diagnosis
+    # ------------------------------------------------------------------
+    def _pending_op_lines(self) -> List[str]:
+        """Human-readable descriptions of every unmatched posted op."""
+        lines = []
+        for queue in self._pending_sends.values():
+            for send in queue:
+                protocol = "eager" if send.eager else "rendezvous"
+                lines.append(f"send {send.src}->{send.dst} tag {send.tag} "
+                             f"({send.nbytes} B, {protocol}, posted at "
+                             f"{send.post_time:.6g}s)")
+        for queue in self._pending_recvs.values():
+            for recv in queue:
+                source = "any" if recv.source == ANY_SOURCE else recv.source
+                tag = "any" if recv.tag == ANY_TAG else recv.tag
+                lines.append(f"recv at {recv.rank} from {source} tag {tag} "
+                             f"(posted at {recv.post_time:.6g}s)")
+        return lines
+
+    def _stall_report(self) -> str:
+        """Deadlock message naming the stuck ranks and their pending ops."""
+        blocked = [f"rank {s.rank}: blocked on {s.blocked_on} "
+                   f"(clock {s.clock:.6g}s)"
+                   for s in self._states if not s.done]
+        report = ("no rank can advance; all live ranks are blocked:\n  " +
+                  "\n  ".join(blocked))
+        pending = self._pending_op_lines()
+        if pending:
+            report += ("\nunmatched operations still posted:\n  " +
+                       "\n  ".join(pending))
+        return report
+
+    def _check_orphans(self) -> None:
+        """All ranks finished: any operation left in a matching queue was
+        posted but never matched — a silent protocol bug (e.g. an eager
+        send nobody received, or an irecv never satisfied)."""
+        pending = self._pending_op_lines()
+        if pending:
+            raise SimulationError(
+                "program finished with unmatched operations:\n  " +
+                "\n  ".join(pending))
 
     # ------------------------------------------------------------------
     # Rank stepping
@@ -193,6 +242,8 @@ class Engine:
             elif isinstance(op, Wait):
                 if not self._do_wait(state, op):
                     return
+            elif isinstance(op, Timeout):
+                self._do_timeout(state, op)
             elif isinstance(op, Elapsed):
                 state.pending_result = state.clock
             else:
@@ -227,9 +278,57 @@ class Engine:
         if op.duration < 0.0:
             raise SimulationError("compute duration must be non-negative")
         begin = state.clock
-        state.clock += op.duration
+        duration = op.duration
         context = getattr(op, "context", ("", "computation"))
+        if self._plan is not None:
+            duration = self._plan.effective_compute(state.rank, begin,
+                                                    duration)
+            crash = self._plan.crash_for(state.rank)
+            if crash is not None and state.rank not in self._crashed \
+                    and begin + duration >= crash.at_time:
+                self._crash_and_recover(state, crash, begin, duration,
+                                        context)
+                return
+        state.clock = begin + duration
         self._trace(state.rank, context, begin, state.clock, "compute")
+        state.pending_result = None
+
+    def _crash_and_recover(self, state: _RankState, crash, begin: float,
+                           duration: float, context: tuple) -> None:
+        """Fail ``state``'s rank mid-compute and charge the restart.
+
+        The burst runs up to the crash instant; the rank then re-reads
+        its checkpoint (``i/o``) and replays the work lost since the
+        last checkpoint (``computation``), both traced under the region
+        that was executing — so recovery time lands in the paper's
+        breakdown exactly where a post-mortem of a real restart would
+        put it.  Finally the interrupted burst's remainder completes.
+        """
+        self._crashed.add(state.rank)
+        fail_at = max(begin, crash.at_time)
+        clock = fail_at
+        if fail_at > begin:
+            self._trace(state.rank, context, begin, fail_at, "compute")
+        region = context[0]
+        for length, activity in crash.recovery_intervals(fail_at):
+            if length > 0.0:
+                self._trace(state.rank, (region, activity), clock,
+                            clock + length, "compute")
+                clock += length
+        remainder = duration - (fail_at - begin)
+        if remainder > 0.0:
+            self._trace(state.rank, context, clock, clock + remainder,
+                        "compute")
+            clock += remainder
+        state.clock = clock
+        state.pending_result = None
+
+    def _do_timeout(self, state: _RankState, op: Timeout) -> None:
+        if op.duration < 0.0:
+            raise SimulationError("timeout duration must be non-negative")
+        begin = state.clock
+        state.clock += op.duration
+        self._trace(state.rank, op.context, begin, state.clock, "wait")
         state.pending_result = None
 
     def _check_peer(self, rank: int, kind: str) -> None:
@@ -257,10 +356,19 @@ class Engine:
         self._bytes += op.nbytes
 
         if eager:
-            sender_done = post_time + self.network.overhead
-            entry.arrival = (post_time + self.network.overhead +
-                             self.network.transfer_time(op.nbytes,
-                                                        state.rank, op.dest))
+            transfer = self.network.transfer_time(op.nbytes, state.rank,
+                                                  op.dest)
+            injections = self.network.overhead
+            delay = 0.0
+            if self._plan is not None and self._plan.perturbs_messages:
+                # Each retransmission of a dropped message costs the
+                # sender another injection overhead; the delivery is
+                # late by the backoff delays (plus any jitter).
+                delay, retries = self._plan.delivery_penalty(
+                    self._seq, state.rank, op.dest, transfer)
+                injections += retries * self.network.overhead
+            sender_done = post_time + injections
+            entry.arrival = post_time + injections + delay + transfer
             state.clock = sender_done
             self._trace(state.rank, op.context, post_time, sender_done,
                         "send", op.nbytes, op.dest)
@@ -369,8 +477,16 @@ class Engine:
     def _rendezvous_done(self, send: _PendingSend,
                          recv: _PendingRecv) -> float:
         start = max(send.post_time, recv.post_time)
-        return (start + 2.0 * self.network.overhead +
-                self.network.transfer_time(send.nbytes, send.src, recv.rank))
+        transfer = self.network.transfer_time(send.nbytes, send.src,
+                                              recv.rank)
+        penalty = 0.0
+        if self._plan is not None and self._plan.perturbs_messages:
+            # delivery_penalty is pure in (seed, seq, src, dst), so the
+            # two call sites that may resolve the same pair agree.
+            delay, retries = self._plan.delivery_penalty(
+                send.seq, send.src, recv.rank, transfer)
+            penalty = delay + retries * self.network.overhead
+        return start + 2.0 * self.network.overhead + transfer + penalty
 
     def _finish_send(self, send: _PendingSend, done: float,
                      blocked: bool) -> None:

@@ -42,13 +42,20 @@ class Simulator:
     def __init__(self, n_ranks: int,
                  network: Optional[NetworkModel] = None,
                  trace_sink: Optional[TraceSink] = None,
-                 max_operations: int = 50_000_000) -> None:
+                 max_operations: int = 50_000_000,
+                 fault_plan=None) -> None:
         if n_ranks < 1:
             raise SimulationError("need at least one rank")
         self.n_ranks = n_ranks
         self.network = network if network is not None else NetworkModel()
         self.trace_sink = trace_sink
         self.max_operations = max_operations
+        #: Optional :class:`repro.faults.FaultPlan` injected into the
+        #: run.  ``None`` (the default) is the healthy path: no fault
+        #: hook is consulted and the network model is used as given.
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            self.network = fault_plan.wrap_network(self.network)
 
     def run(self, program: Callable, *args, **kwargs) -> SimulationResult:
         """Run ``program(comm, *args, **kwargs)`` on every rank."""
@@ -63,5 +70,6 @@ class Simulator:
                     f"{program!r} returned {type(generator).__name__}")
             generators.append(generator)
         engine = Engine(self.n_ranks, self.network, self.trace_sink,
-                max_operations=self.max_operations)
+                max_operations=self.max_operations,
+                fault_plan=self.fault_plan)
         return engine.run(generators)

@@ -91,5 +91,20 @@ class Wait:
 
 
 @dataclass
+class Timeout:
+    """Spend up to ``duration`` seconds waiting (bounded waiting).
+
+    The primitive behind retry backoff: the rank's clock advances by the
+    duration and the interval is traced with kind ``wait`` under the
+    posting context, so bounded waiting is attributed to the activity
+    whose operation is being retried rather than vanishing from the
+    breakdown.
+    """
+
+    duration: float
+    context: tuple = ("", "")
+
+
+@dataclass
 class Elapsed:
     """Query the rank's current simulated clock (no time passes)."""

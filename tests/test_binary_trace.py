@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import TraceError
+from repro.errors import TraceError, TraceWarning
 from repro.instrument import (TraceEvent, read_any, read_binary_trace,
                               sniff_format, write_binary_trace, write_trace)
 
@@ -61,13 +61,16 @@ class TestValidation:
         with pytest.raises(TraceError):
             read_binary_trace(path)
 
-    def test_truncated_records(self, tmp_path):
+    def test_truncated_records_salvaged(self, tmp_path):
         path = tmp_path / "t.rptb"
         write_binary_trace(path, sample_events())
         data = path.read_bytes()
         path.write_bytes(data[:-10])
+        with pytest.warns(TraceWarning, match="truncated"):
+            events = read_binary_trace(path)
+        assert events == sample_events()[:-1]
         with pytest.raises(TraceError) as info:
-            read_binary_trace(path)
+            read_binary_trace(path, on_error="raise")
         assert "truncated" in str(info.value)
 
     def test_too_short(self, tmp_path):

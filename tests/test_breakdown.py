@@ -82,3 +82,61 @@ class TestOnPaperData:
         assert by_activity["synchronization"].worst_region == "loop 1"
         # "only three loops perform synchronizations"
         assert len(breakdown.regions_performing("synchronization")) == 3
+
+
+class TestRecoveryAttribution:
+    """Crash recovery must land in the right activity classes of the
+    coarse-grain breakdown: restart as i/o, replayed work as
+    computation, both under the region executing at crash time."""
+
+    def _run_with_crash(self, restart_time, replay_factor=1.0):
+        from repro.faults import FaultPlan, RankCrash
+        from repro.instrument import Tracer, profile
+        from repro.simmpi import Simulator
+
+        def program(comm):
+            with comm.region("solve"):
+                yield from comm.compute(4e-3)
+                yield from comm.barrier()
+
+        crash = RankCrash(rank=1, at_time=2e-3, checkpoint_interval=1.5e-3,
+                          restart_time=restart_time,
+                          replay_factor=replay_factor)
+        tracer = Tracer()
+        Simulator(4, trace_sink=tracer.record,
+                  fault_plan=FaultPlan((crash,))).run(program)
+        return crash, profile(tracer), tracer
+
+    def test_restart_time_attributed_to_io(self):
+        crash, measurements, _ = self._run_with_crash(restart_time=5e-3)
+        io = measurements.activity_index("i/o")
+        region = measurements.region_index("solve")
+        assert measurements.times[region, io, 1] == pytest.approx(5e-3)
+        # Only the crashed rank pays the restart.
+        assert measurements.times[region, io, [0, 2, 3]].sum() == 0.0
+
+    def test_replay_attributed_to_computation(self):
+        crash, measurements, _ = self._run_with_crash(restart_time=1e-3)
+        comp = measurements.activity_index("computation")
+        region = measurements.region_index("solve")
+        # Crash at 2e-3 with checkpoints every 1.5e-3: 0.5e-3 replayed,
+        # on top of the 4e-3 the region computes anyway.
+        assert measurements.times[region, comp, 1] == pytest.approx(
+            4e-3 + crash.lost_work(2e-3))
+        assert measurements.times[region, comp, 0] == pytest.approx(4e-3)
+
+    def test_breakdown_shifts_to_io_and_waiting_with_recovery(self):
+        _, measurements, _ = self._run_with_crash(restart_time=0.5)
+        breakdown = characterize(measurements)
+        # A huge restart: the crashed rank spends ~0.5 s in i/o and the
+        # other ranks wait for it at the barrier, so i/o and
+        # synchronization dwarf the 4 ms of computation.
+        assert breakdown.activity_shares["i/o"] > 0.4
+        assert breakdown.dominant_activity in ("i/o", "synchronization")
+
+    def test_zero_replay_factor_skips_recompute(self):
+        crash, measurements, _ = self._run_with_crash(restart_time=1e-3,
+                                                      replay_factor=0.0)
+        comp = measurements.activity_index("computation")
+        region = measurements.region_index("solve")
+        assert measurements.times[region, comp, 1] == pytest.approx(4e-3)

@@ -172,3 +172,81 @@ class TestChromeExportFlag:
         assert target.exists()
         import json
         assert json.loads(target.read_text())["traceEvents"]
+
+
+class TestExitCodeContract:
+    """Expected failures exit 2; internal bugs exit 3 without a bare
+    traceback; checks that fail exit 1."""
+
+    def test_repro_error_exits_2(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "none.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_directory_as_tracefile_exits_2(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path)]) == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_internal_error_exits_3(self, tracefile, capsys, monkeypatch):
+        import repro.cli as cli
+        def boom(arguments):
+            raise RuntimeError("synthetic bug")
+        monkeypatch.setitem(cli._COMMANDS, "analyze", boom)
+        monkeypatch.delenv("REPRO_DEBUG", raising=False)
+        assert main(["analyze", tracefile]) == 3
+        err = capsys.readouterr().err
+        assert "internal error" in err
+        assert "REPRO_DEBUG" in err
+        assert "Traceback" not in err
+
+    def test_internal_error_reraises_under_debug(self, tracefile, capsys,
+                                                 monkeypatch):
+        import repro.cli as cli
+        def boom(arguments):
+            raise RuntimeError("synthetic bug")
+        monkeypatch.setitem(cli._COMMANDS, "analyze", boom)
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        with pytest.raises(RuntimeError):
+            main(["analyze", tracefile])
+
+
+class TestSalvageFlags:
+    def _truncated(self, tracefile, tmp_path):
+        import pathlib
+        source = pathlib.Path(tracefile)
+        lines = source.read_text().splitlines()
+        cut = tmp_path / "cut.jsonl"
+        cut.write_text("\n".join(lines[:-1]) + "\n")
+        return str(cut)
+
+    def test_analyze_salvages_by_default(self, tracefile, tmp_path,
+                                         capsys):
+        from repro.errors import TraceWarning
+        cut = self._truncated(tracefile, tmp_path)
+        with pytest.warns(TraceWarning):
+            assert main(["analyze", cut]) == 0
+        assert "Top-down analysis summary" in capsys.readouterr().out
+
+    def test_analyze_strict_refuses_damage(self, tracefile, tmp_path,
+                                           capsys):
+        cut = self._truncated(tracefile, tmp_path)
+        assert main(["analyze", cut, "--strict"]) == 2
+        assert "truncated" in capsys.readouterr().err
+
+
+class TestFaultsCommand:
+    def test_listing_without_campaign(self, capsys):
+        assert main(["faults"]) == 0
+        out = capsys.readouterr().out
+        assert "straggler/cfd" in out
+        assert "--campaign" in out
+
+    def test_campaign_prints_precision_recall(self, capsys):
+        assert main(["faults", "--campaign", "--require-perfect"]) == 0
+        out = capsys.readouterr().out
+        assert "precision=1.00" in out
+        assert "recall=1.00" in out
+        for case in ("straggler/cfd", "link/cfd", "drop/cfd", "crash/cfd",
+                     "straggler/checkpoint", "crash/checkpoint"):
+            assert case in out

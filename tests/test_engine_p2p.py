@@ -197,3 +197,41 @@ class TestDeadlock:
 
         result = run(program)
         assert result.messages == 2
+
+    def test_stall_report_names_ranks_and_pending_ops(self):
+        def program(comm):
+            yield from comm.compute(1e-3)
+            if comm.rank == 1:
+                yield from comm.recv(0, tag=7)
+
+        with pytest.raises(DeadlockError) as info:
+            run(program)
+        message = str(info.value)
+        assert "rank 1" in message
+        assert "recv at 1 from 0 tag 7" in message
+        assert "clock" in message
+
+    def test_stall_report_describes_unmatched_rendezvous_send(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 10 ** 6)     # rendezvous, no recv
+
+        with pytest.raises(DeadlockError) as info:
+            run(program)
+        message = str(info.value)
+        assert "send 0->1" in message
+        assert "rendezvous" in message
+
+    def test_orphaned_eager_send_detected_at_exit(self):
+        from repro.errors import SimulationError
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 10)          # eager, never received
+
+        with pytest.raises(SimulationError) as info:
+            run(program)
+        message = str(info.value)
+        assert "unmatched operations" in message
+        assert "send 0->1" in message
+        assert "eager" in message

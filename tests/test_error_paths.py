@@ -21,8 +21,12 @@ class TestErrorHierarchy:
         for name in dir(errors):
             obj = getattr(errors, name)
             if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and not issubclass(obj, Warning) \
                     and obj is not errors.ReproError:
                 assert issubclass(obj, errors.ReproError), name
+
+    def test_warnings_are_user_warnings(self):
+        assert issubclass(errors.TraceWarning, UserWarning)
 
     def test_deadlock_is_simulation_error(self):
         assert issubclass(errors.DeadlockError, errors.SimulationError)

@@ -1,0 +1,300 @@
+"""Tests for the fault-injection subsystem.
+
+Covers the fault plan's validation and determinism, the engine hooks
+(stragglers, link degradation, drops with retransmission, crashes with
+checkpoint/restart recovery), the zero-overhead guarantee of the
+healthy path, the recovery-time attribution, and the blame-localization
+campaign.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.cfd import CFDConfig, cfd_program, LOOPS
+from repro.core import analyze
+from repro.errors import FaultError
+from repro.faults import (HEALTHY, CampaignApp, CampaignCase, FaultPlan,
+                          LinkDegradation, MessageDrop, MessageJitter,
+                          RankCrash, RetryPolicy, Straggler,
+                          default_campaign, run_campaign, run_case)
+from repro.instrument import Tracer, profile
+from repro.simmpi import NetworkModel, Simulator
+
+FAST = NetworkModel(latency=1e-5, bandwidth=1e8, overhead=1e-6,
+                    eager_threshold=64 * 1024)
+
+
+def ring_program(comm):
+    with comm.region("step"):
+        yield from comm.compute(1e-3 * (1.0 + 0.1 * comm.rank))
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        yield from comm.sendrecv(right, 4096, left)
+        yield from comm.barrier()
+
+
+def run_ring(plan, n_ranks=4):
+    tracer = Tracer()
+    simulator = Simulator(n_ranks, network=FAST, trace_sink=tracer.record,
+                          fault_plan=plan)
+    result = simulator.run(ring_program)
+    return result, tracer
+
+
+class TestPlanValidation:
+    def test_straggler_factor_below_one(self):
+        with pytest.raises(FaultError):
+            Straggler(rank=0, factor=0.5)
+
+    def test_straggler_bad_window(self):
+        with pytest.raises(FaultError):
+            Straggler(rank=0, factor=2.0, start=1.0, end=0.5)
+
+    def test_negative_rank(self):
+        with pytest.raises(FaultError):
+            Straggler(rank=-1, factor=2.0)
+
+    def test_drop_probability_range(self):
+        with pytest.raises(FaultError):
+            MessageDrop(probability=1.0, src=0, dst=1)
+        with pytest.raises(FaultError):
+            MessageDrop(probability=-0.1, src=0, dst=1)
+
+    def test_link_factor_below_one(self):
+        with pytest.raises(FaultError):
+            LinkDegradation(src=0, dst=1, factor=0.9)
+
+    def test_self_link(self):
+        with pytest.raises(FaultError):
+            LinkDegradation(src=2, dst=2, factor=2.0)
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(FaultError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(FaultError):
+            RetryPolicy(backoff=0.5)
+
+    def test_two_crashes_same_rank_rejected(self):
+        crash = RankCrash(rank=0, at_time=1.0, checkpoint_interval=0.5,
+                          restart_time=0.1)
+        with pytest.raises(FaultError):
+            FaultPlan((crash, crash))
+
+    def test_unknown_fault_type_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan(("not a fault",))
+
+    def test_describe_lists_every_fault(self):
+        plan = FaultPlan((Straggler(rank=1, factor=2.0),
+                          MessageJitter(amplitude=1e-4)))
+        text = plan.describe()
+        assert "straggler" in text and "jitter" in text
+
+
+class TestZeroOverhead:
+    """No plan and the empty plan must reproduce the healthy run
+    byte-for-byte (the golden-report acceptance criterion)."""
+
+    def test_none_plan_equals_empty_plan(self):
+        result_none, tracer_none = run_ring(None)
+        result_empty, tracer_empty = run_ring(HEALTHY)
+        assert result_none.clocks == result_empty.clocks
+        assert tracer_none.events == tracer_empty.events
+
+    def test_cfd_trace_identical_under_empty_plan(self):
+        config = CFDConfig(steps=1)
+        traces = []
+        for plan in (None, FaultPlan()):
+            tracer = Tracer()
+            Simulator(8, trace_sink=tracer.record,
+                      fault_plan=plan).run(cfd_program, config)
+            traces.append(tracer.events)
+        assert traces[0] == traces[1]
+
+
+class TestDeterminism:
+    def test_same_plan_same_trace(self):
+        plan = FaultPlan((MessageDrop(probability=0.3, src=0, dst=1),
+                          MessageJitter(amplitude=1e-4)),
+                         seed=42,
+                         retry=RetryPolicy(timeout=5e-4, max_retries=6))
+        _, tracer_a = run_ring(plan)
+        _, tracer_b = run_ring(plan)
+        assert tracer_a.events == tracer_b.events
+
+    def test_different_seed_different_schedule(self):
+        def plan(seed):
+            return FaultPlan((MessageJitter(amplitude=1e-3),), seed=seed)
+        result_a, _ = run_ring(plan(1))
+        result_b, _ = run_ring(plan(2))
+        assert result_a.clocks != result_b.clocks
+
+    def test_delivery_penalty_is_pure(self):
+        plan = FaultPlan((MessageDrop(probability=0.5, src=0, dst=1),),
+                         seed=7, retry=RetryPolicy(max_retries=10))
+        first = [plan.delivery_penalty(seq, 0, 1, 1e-4)
+                 for seq in range(50)]
+        second = [plan.delivery_penalty(seq, 0, 1, 1e-4)
+                  for seq in range(50)]
+        assert first == second
+        assert any(retries > 0 for _, retries in first)
+
+
+class TestStraggler:
+    def test_persistent_straggler_slows_compute(self):
+        healthy, _ = run_ring(None)
+        slowed, _ = run_ring(FaultPlan((Straggler(rank=2, factor=3.0),)))
+        assert slowed.elapsed > healthy.elapsed
+
+    def test_effective_compute_persistent(self):
+        plan = FaultPlan((Straggler(rank=1, factor=2.0),))
+        assert plan.effective_compute(1, 0.0, 1.0) == pytest.approx(2.0)
+        assert plan.effective_compute(0, 0.0, 1.0) == pytest.approx(1.0)
+
+    def test_effective_compute_transient_window(self):
+        # Slowdown 3x inside [1, 2): 2 s of work starting at t=0.5 does
+        # 0.5 work before the window, 1/3 work during it, and the rest
+        # after: 0.5 + 1.0 + (2 - 0.5 - 1/3) = 8/3 s of wall clock.
+        plan = FaultPlan((Straggler(rank=0, factor=3.0, start=1.0,
+                                    end=2.0),))
+        assert plan.effective_compute(0, 0.5, 2.0) == pytest.approx(8.0 / 3.0)
+        # Fully outside the window: unchanged.
+        assert plan.effective_compute(0, 2.0, 1.0) == pytest.approx(1.0)
+
+
+class TestLinkDegradation:
+    def test_wrap_network_scales_one_link(self):
+        plan = FaultPlan((LinkDegradation(src=0, dst=1, factor=10.0),))
+        network = plan.wrap_network(FAST)
+        nbytes = 32 * 1024
+        assert network.transfer_time(nbytes, 0, 1) == pytest.approx(
+            10.0 * FAST.transfer_time(nbytes, 0, 1))
+        assert network.transfer_time(nbytes, 1, 0) == pytest.approx(
+            10.0 * FAST.transfer_time(nbytes, 1, 0))
+        assert network.transfer_time(nbytes, 2, 3) == pytest.approx(
+            FAST.transfer_time(nbytes, 2, 3))
+
+    def test_asymmetric_degradation(self):
+        plan = FaultPlan((LinkDegradation(src=0, dst=1, factor=10.0,
+                                          symmetric=False),))
+        network = plan.wrap_network(FAST)
+        nbytes = 32 * 1024
+        assert network.transfer_time(nbytes, 0, 1) > \
+            2.0 * network.transfer_time(nbytes, 1, 0)
+
+    def test_no_links_returns_network_unchanged(self):
+        plan = FaultPlan((Straggler(rank=0, factor=2.0),))
+        assert plan.wrap_network(FAST) is FAST
+
+
+class TestDropsAndRetries:
+    def test_drops_delay_but_run_completes(self):
+        plan = FaultPlan((MessageDrop(probability=0.4, src=0, dst=1,
+                                      symmetric=True),),
+                         seed=5,
+                         retry=RetryPolicy(timeout=1e-4, max_retries=12))
+        healthy, _ = run_ring(None)
+        dropped, _ = run_ring(plan)
+        assert dropped.elapsed > healthy.elapsed
+
+    def test_message_lost_beyond_budget_raises(self):
+        plan = FaultPlan((MessageDrop(probability=0.9, src=0, dst=1),),
+                         seed=1, retry=RetryPolicy(max_retries=0))
+        with pytest.raises(FaultError):
+            run_ring(plan)
+
+
+class TestCrashRecovery:
+    def test_lost_work_measured_from_last_checkpoint(self):
+        crash = RankCrash(rank=0, at_time=1.0, checkpoint_interval=0.4,
+                          restart_time=0.1)
+        assert crash.lost_work(1.0) == pytest.approx(0.2)
+        intervals = dict((activity, duration) for duration, activity
+                         in crash.recovery_intervals(1.0))
+        assert intervals["i/o"] == pytest.approx(0.1)
+        assert intervals["computation"] == pytest.approx(0.2)
+
+    def test_replay_factor_scales_recompute(self):
+        crash = RankCrash(rank=0, at_time=1.0, checkpoint_interval=0.4,
+                          restart_time=0.1, replay_factor=0.5)
+        intervals = dict((activity, duration) for duration, activity
+                         in crash.recovery_intervals(1.0))
+        assert intervals["computation"] == pytest.approx(0.1)
+
+    def test_crash_traces_recovery_under_current_region(self):
+        plan = FaultPlan((RankCrash(rank=1, at_time=5e-4,
+                                    checkpoint_interval=2e-4,
+                                    restart_time=1e-3),))
+        result, tracer = run_ring(plan)
+        recovery = [event for event in tracer.events
+                    if event.rank == 1 and event.activity == "i/o"]
+        assert len(recovery) == 1
+        assert recovery[0].region == "step"
+        assert recovery[0].duration == pytest.approx(1e-3)
+
+    def test_crash_slows_only_the_crashed_rank_directly(self):
+        plan = FaultPlan((RankCrash(rank=2, at_time=5e-4,
+                                    checkpoint_interval=1e-3,
+                                    restart_time=2e-3),))
+        healthy, _ = run_ring(None)
+        crashed, _ = run_ring(plan)
+        assert crashed.clocks[2] > healthy.clocks[2]
+
+
+class TestCampaign:
+    def test_default_campaign_is_perfect(self):
+        report = run_campaign()
+        assert report.precision == pytest.approx(1.0)
+        assert report.recall == pytest.approx(1.0)
+        assert report.perfect
+
+    def test_campaign_covers_four_fault_kinds_and_two_apps(self):
+        cases = default_campaign()
+        kinds = {type(case.plan.faults[0]) for case in cases}
+        assert kinds == {Straggler, LinkDegradation, MessageDrop,
+                         RankCrash}
+        assert {case.app.name for case in cases} == {"cfd", "checkpoint"}
+
+    def test_render_contains_scores(self):
+        report = run_campaign()
+        text = report.render()
+        assert "precision=1.00" in text
+        assert "recall=1.00" in text
+
+    def test_multiselect_criterion_trades_precision_for_recall(self):
+        report = run_campaign(criterion="elbow")
+        assert report.recall == pytest.approx(1.0)
+        assert report.precision < 1.0
+
+    def test_case_expectations_validated(self):
+        app = CampaignApp(name="cfd", program=cfd_program,
+                          config=CFDConfig(steps=1), regions=LOOPS)
+        with pytest.raises(FaultError):
+            CampaignCase(name="bad", app=app, plan=HEALTHY,
+                         expected_region="nonexistent",
+                         expected_activity="computation",
+                         expected_ranks=(0,))
+
+    def test_run_case_reports_blame(self):
+        cases = default_campaign()
+        result = run_case(cases[0])
+        assert result.top.region == cases[0].expected_region
+        assert result.top.processor in cases[0].expected_ranks
+        assert result.localized
+
+
+class TestMissingRankTolerance:
+    def test_analysis_tolerates_masked_processor(self):
+        _, tracer = run_ring(None, n_ranks=6)
+        measurements = profile(tracer)
+        # Simulate a rank whose events were lost with the trace.
+        times = measurements.times.copy()
+        times[:, :, 4] = 0.0
+        from repro.core import MeasurementSet
+        damaged = MeasurementSet(times, measurements.regions,
+                                 measurements.activities)
+        assert damaged.missing_processors() == (4,)
+        masked = damaged.without_missing_processors()
+        assert masked.n_processors == 5
+        analysis = analyze(masked)
+        assert analysis.region_ranking.ordered

@@ -16,7 +16,7 @@ hypothesis searches for tensors breaking the batch engine's algebra:
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core import (BatchAnalysis, MeasurementSet, available_indices,
@@ -80,6 +80,10 @@ def test_indices_permutation_invariant(tensor, random):
 def test_indices_scale_invariant(tensor, scale):
     """Multiplying every time by a positive constant changes no index:
     standardization divides the scale right back out."""
+    # Denormal times can underflow to exactly zero under the scale,
+    # flipping a cell's performed mask — that changes the *input*, not
+    # the index, so such draws are out of scope for the invariance.
+    assume(np.array_equal(tensor > 0.0, tensor * scale > 0.0))
     original = BatchAnalysis(MeasurementSet(tensor))
     scaled = BatchAnalysis(MeasurementSet(tensor * scale))
     for name in available_indices():

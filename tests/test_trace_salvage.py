@@ -1,0 +1,145 @@
+"""Degradation-tolerant trace ingestion: salvage semantics.
+
+The contract, for every supported format: truncating a trace file at
+*any* byte offset either returns a salvaged prefix of the original
+events (with a :class:`TraceWarning`) or raises :class:`TraceError` —
+never an unhandled exception, and never events that were not in the
+original file.
+"""
+
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError, TraceWarning
+from repro.instrument import (TraceEvent, read_any, read_binary_trace,
+                              read_trace, write_binary_trace, write_trace)
+
+
+def sample_events():
+    return [
+        TraceEvent(rank % 4, f"region {rank % 3}",
+                   ("computation", "point-to-point")[rank % 2],
+                   float(rank), float(rank) + 0.5,
+                   kind=("compute", "send")[rank % 2],
+                   nbytes=rank * 100, partner=(rank + 1) % 4)
+        for rank in range(12)
+    ]
+
+
+def read_salvaged(reader, path):
+    """Read tolerating (and hiding) the salvage warning; returns the
+    events or raises TraceError."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", TraceWarning)
+        return reader(path)
+
+
+class TestBinaryTruncationProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(offset=st.integers(min_value=0, max_value=10_000))
+    def test_any_offset_salvages_a_prefix_or_raises(self, tmp_path_factory,
+                                                    offset):
+        events = sample_events()
+        directory = tmp_path_factory.mktemp("bin")
+        full = directory / "full.rptb"
+        write_binary_trace(full, events)
+        data = full.read_bytes()
+        cut = directory / "cut.rptb"
+        cut.write_bytes(data[:min(offset, len(data))])
+        try:
+            got = read_salvaged(read_binary_trace, cut)
+        except TraceError:
+            return
+        assert got == events[:len(got)]    # a prefix, nothing invented
+        if min(offset, len(data)) < len(data):
+            assert len(got) < len(events)
+
+    def test_full_file_reads_clean_without_warning(self, tmp_path):
+        path = tmp_path / "t.rptb"
+        write_binary_trace(path, sample_events())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", TraceWarning)
+            assert read_binary_trace(path) == sample_events()
+
+    def test_truncation_warns_with_counts(self, tmp_path):
+        path = tmp_path / "t.rptb"
+        write_binary_trace(path, sample_events())
+        path.write_bytes(path.read_bytes()[:-50])
+        with pytest.warns(TraceWarning, match="salvaged"):
+            read_binary_trace(path)
+
+
+class TestJsonlTruncationProperty:
+    @settings(max_examples=100, deadline=None)
+    @given(offset=st.integers(min_value=0, max_value=10_000))
+    def test_any_offset_salvages_a_prefix_or_raises(self, tmp_path_factory,
+                                                    offset):
+        events = sample_events()
+        directory = tmp_path_factory.mktemp("jsonl")
+        full = directory / "full.jsonl"
+        write_trace(full, events)
+        data = full.read_bytes()
+        cut = directory / "cut.jsonl"
+        cut.write_bytes(data[:min(offset, len(data))])
+        try:
+            got = read_salvaged(read_trace, cut)
+        except TraceError:
+            return
+        assert got == events[:len(got)]
+
+    @settings(max_examples=60, deadline=None)
+    @given(offset=st.integers(min_value=0, max_value=4_000))
+    def test_gzip_truncation(self, tmp_path_factory, offset):
+        events = sample_events()
+        directory = tmp_path_factory.mktemp("gz")
+        full = directory / "full.jsonl.gz"
+        write_trace(full, events)
+        data = full.read_bytes()
+        cut = directory / "cut.jsonl.gz"
+        cut.write_bytes(data[:min(offset, len(data))])
+        try:
+            got = read_salvaged(read_trace, cut)
+        except TraceError:
+            return
+        assert got == events[:len(got)]
+
+
+class TestReadAnyDispatch:
+    def test_read_any_salvages_binary(self, tmp_path):
+        path = tmp_path / "t.rptb"
+        write_binary_trace(path, sample_events())
+        path.write_bytes(path.read_bytes()[:-19])    # half a record
+        with pytest.warns(TraceWarning):
+            got = read_any(path)
+        assert got == sample_events()[:-1]
+
+    def test_read_any_strict_mode(self, tmp_path):
+        path = tmp_path / "t.rptb"
+        write_binary_trace(path, sample_events())
+        path.write_bytes(path.read_bytes()[:-19])
+        with pytest.raises(TraceError):
+            read_any(path, on_error="raise")
+
+    def test_salvaged_trace_still_profiles(self, tmp_path):
+        from repro.core import analyze
+        from repro.instrument import Tracer, profile
+        from repro.simmpi import Simulator
+
+        def program(comm):
+            with comm.region("work"):
+                yield from comm.compute(1e-3 * (comm.rank + 1))
+                yield from comm.barrier()
+
+        tracer = Tracer()
+        Simulator(4, trace_sink=tracer.record).run(program)
+        path = tmp_path / "run.rptb"
+        write_binary_trace(path, tracer.events)
+        path.write_bytes(path.read_bytes()[:-19])
+        with pytest.warns(TraceWarning):
+            salvaged = Tracer()
+            salvaged.extend(read_any(path))
+        analysis = analyze(profile(salvaged))
+        assert analysis.region_ranking.ordered[0].name == "work"

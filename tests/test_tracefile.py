@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro.errors import TraceError
+from repro.errors import TraceError, TraceWarning
 from repro.instrument import (FORMAT_NAME, Tracer, TraceEvent, read_trace,
                               read_tracer, write_trace, write_tracer)
 
@@ -80,22 +80,28 @@ class TestValidation:
         with pytest.raises(TraceError):
             read_trace(path)
 
-    def test_truncated_file_detected(self, tmp_path):
+    def test_truncated_file_salvaged(self, tmp_path):
         path = tmp_path / "t.jsonl"
-        write_trace(path, sample_events())
+        count = write_trace(path, sample_events())
         lines = path.read_text().splitlines()
         path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.warns(TraceWarning, match="truncated"):
+            events = read_trace(path)
+        assert len(events) == count - 1
         with pytest.raises(TraceError) as info:
-            read_trace(path)
+            read_trace(path, on_error="raise")
         assert "truncated" in str(info.value)
 
-    def test_corrupt_event_line(self, tmp_path):
+    def test_corrupt_event_line_salvaged(self, tmp_path):
         path = tmp_path / "t.jsonl"
         write_trace(path, sample_events()[:1])
         with open(path, "a", encoding="utf-8") as stream:
             stream.write("{not json}\n")
+        with pytest.warns(TraceWarning, match="bad event"):
+            events = read_trace(path)
+        assert len(events) == 1
         with pytest.raises(TraceError):
-            read_trace(path)
+            read_trace(path, on_error="raise")
 
     def test_invalid_event_fields(self, tmp_path):
         path = tmp_path / "t.jsonl"
@@ -104,8 +110,16 @@ class TestValidation:
         record = {"r": 0, "g": "x", "a": "computation", "b": 5.0,
                   "e": 1.0, "k": "compute", "n": 0, "p": -1}
         path.write_text(json.dumps(header) + "\n" + json.dumps(record) + "\n")
+        # The bad record is the only one: nothing salvageable, so even
+        # the lenient default raises.
         with pytest.raises(TraceError):
             read_trace(path)
+
+    def test_bad_on_error_value(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, sample_events())
+        with pytest.raises(TraceError):
+            read_trace(path, on_error="explode")
 
 
 class TestEndToEndFileWorkflow:
