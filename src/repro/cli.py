@@ -15,6 +15,10 @@ stack.  Subcommands:
   parameters (messages or bytes) instead of timings.
 * ``repro faults``              — fault injection as validation: run the
   blame-localization campaign and score precision/recall.
+* ``repro temporal TRACEFILE``  — time-resolved analysis: per-window
+  imbalance trends, drifting regions, phase detection and threshold
+  forecasts; ``--sweep DIR`` fans the analysis out over every trace in
+  a directory (multiprocessing, on-disk content-keyed cache).
 
 Trace files may be JSONL (optionally gzipped) or the compact binary
 format (``.rptb``); the readers sniff the format.  Damaged trace files
@@ -140,6 +144,40 @@ def _build_parser() -> argparse.ArgumentParser:
     faults_cmd.add_argument("--require-perfect", action="store_true",
                             help="exit non-zero unless every fault is "
                                  "localized and every claim is correct")
+
+    temporal_cmd = commands.add_parser(
+        "temporal", help="time-resolved imbalance analysis: per-window "
+                         "trends, phases and drift forecasts")
+    temporal_cmd.add_argument("tracefile", nargs="?",
+                              help="trace to analyze (omit with --sweep)")
+    temporal_cmd.add_argument("--sweep", metavar="DIR",
+                              help="analyze every trace in DIR in "
+                                   "parallel instead of one file")
+    temporal_cmd.add_argument("--windows", type=int, default=16,
+                              help="number of equal time windows "
+                                   "(default: 16)")
+    temporal_cmd.add_argument("--index", default="euclidean",
+                              help="index of dispersion (default: "
+                                   "euclidean)")
+    temporal_cmd.add_argument("--phases", action="store_true",
+                              help="also print the change-point phase "
+                                   "segmentation")
+    temporal_cmd.add_argument("--forecast", type=float, metavar="LEVEL",
+                              help="also forecast the window at which "
+                                   "each region's imbalance reaches "
+                                   "LEVEL")
+    temporal_cmd.add_argument("--heatmap", action="store_true",
+                              help="also print the region x window "
+                                   "imbalance heatmap")
+    temporal_cmd.add_argument("--jobs", type=int, default=None,
+                              help="worker processes for --sweep "
+                                   "(default: one per CPU)")
+    temporal_cmd.add_argument("--no-cache", action="store_true",
+                              help="ignore and do not update the sweep "
+                                   "result cache")
+    temporal_cmd.add_argument("--strict", action="store_true",
+                              help="refuse damaged trace files instead "
+                                   "of salvaging their valid prefix")
     return parser
 
 
@@ -288,6 +326,89 @@ def _command_faults(arguments) -> int:
     return 0
 
 
+def _format_level(value: float) -> str:
+    if value == float("inf"):
+        return "never"
+    return f"{value:.4g}"
+
+
+def _command_temporal(arguments) -> int:
+    if arguments.windows < 1:
+        raise ReproError("--windows must be at least 1")
+    if arguments.sweep:
+        from .sweep import SweepConfig, render_sweep_table, sweep_traces
+        config = SweepConfig(n_windows=arguments.windows,
+                             index=arguments.index,
+                             forecast_threshold=arguments.forecast)
+        summaries = sweep_traces(arguments.sweep, config,
+                                 jobs=arguments.jobs,
+                                 use_cache=not arguments.no_cache)
+        print(render_sweep_table(summaries))
+        failed = [s for s in summaries if not s.ok]
+        if failed:
+            print(f"\n{len(failed)} trace(s) could not be analyzed",
+                  file=sys.stderr)
+        return 0
+    if not arguments.tracefile:
+        raise ReproError("temporal needs a trace file (or --sweep DIR)")
+
+    from .core.temporal import temporal_analysis
+    from .instrument import read_any_tracer, window_profiles
+    from .viz import format_table, render_sparkline, render_temporal_heatmap
+    on_error = "raise" if arguments.strict else "salvage"
+    tracer = read_any_tracer(arguments.tracefile, on_error=on_error)
+    windows = window_profiles(tracer, arguments.windows)
+    analysis = temporal_analysis(windows, index=arguments.index)
+    drifting = set(analysis.drifting_regions())
+
+    span = windows[-1].end - windows[0].begin
+    print(f"time-resolved analysis: {analysis.n_windows} windows over "
+          f"{span:.4g} s ({len(tracer)} events, index "
+          f"{arguments.index})\n")
+    rows = []
+    for trend in analysis.trends:
+        rows.append([
+            trend.region,
+            render_sparkline(trend.series),
+            f"{trend.slope:+.4g}",
+            f"{trend.mean:.4g}",
+            f"{trend.final:.4g}",
+            f"{trend.amplification:.4g}",
+            "DRIFTING" if trend.region in drifting else "",
+        ])
+    print(format_table(
+        ["region", "per-window ID", "slope/win", "mean", "final",
+         "amplif.", "verdict"],
+        rows, title="Region imbalance over time"))
+    if analysis.activity_trends:
+        print()
+        print(format_table(
+            ["activity", "per-window ID", "slope/win", "mean", "final"],
+            [[trend.activity, render_sparkline(trend.series),
+              f"{trend.slope:+.4g}", f"{trend.mean:.4g}",
+              f"{trend.final:.4g}"]
+             for trend in analysis.activity_trends],
+            title="Activity imbalance over time"))
+    if arguments.phases:
+        phases = analysis.phases()
+        print(f"\nphases (overall imbalance level, "
+              f"{len(phases)} segment(s)):")
+        for phase in phases:
+            print(f"  windows {phase.begin:>3d}..{phase.end - 1:<3d} "
+                  f"level {phase.mean:.4g}")
+    if arguments.forecast is not None:
+        print(f"\nforecast: window at which each region reaches "
+              f"ID {arguments.forecast:g}")
+        for region, crossing in analysis.forecast(
+                arguments.forecast).items():
+            print(f"  {region}: {_format_level(crossing)}")
+    if arguments.heatmap:
+        print()
+        print(render_temporal_heatmap(
+            {trend.region: trend.series for trend in analysis.trends}))
+    return 0
+
+
 _COMMANDS = {
     "analyze": _command_analyze,
     "paper": _command_paper,
@@ -295,11 +416,15 @@ _COMMANDS = {
     "counters": _command_counters,
     "testbed": _command_testbed,
     "faults": _command_faults,
+    "temporal": _command_temporal,
 }
 
 
 def _validate_file_arguments(arguments) -> None:
     """Fail fast on unreadable file arguments, before any heavy work."""
+    sweep = getattr(arguments, "sweep", None)
+    if sweep is not None and not Path(sweep).is_dir():
+        raise ReproError(f"sweep directory {sweep} does not exist")
     tracefile = getattr(arguments, "tracefile", None)
     if tracefile is None:
         return

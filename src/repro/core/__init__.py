@@ -13,7 +13,7 @@ Public surface:
 * report rendering (the paper's tables as text).
 """
 
-from .batch import (AnalysisSession, BatchAnalysis,
+from .batch import (AnalysisSession, BatchAnalysis, WindowedBatch,
                     available_batch_kernels, batch_dispersion_matrix,
                     get_batch_kernel, register_batch_kernel,
                     scalar_dispersion_matrix)
@@ -51,7 +51,8 @@ from .whatif import (BalancePrediction, ExcessAttribution,
                      excess_by_processor, render_predictions)
 from .diagnosis import Finding, diagnose, render_diagnosis
 from .significance import NoiseModel, noise_quantile, p_value
-from .temporal import (RegionTrend, TemporalAnalysis,
+from .temporal import (ActivityTrend, Phase, RegionTrend,
+                       TemporalAnalysis, detect_phases,
                        temporal_analysis)
 from .standardize import (balanced_point, standardize,
                           standardize_over_activities,
@@ -63,7 +64,8 @@ from .views import (ActivityView, CodeRegionView, ProcessorSummary,
                     compute_region_view, dispersion_matrix)
 
 __all__ = [
-    "AnalysisSession", "BatchAnalysis", "available_batch_kernels",
+    "AnalysisSession", "BatchAnalysis", "WindowedBatch",
+    "available_batch_kernels",
     "batch_dispersion_matrix", "get_batch_kernel", "register_batch_kernel",
     "scalar_dispersion_matrix",
     "ActivityExtremes", "ProgramBreakdown", "characterize",
@@ -87,7 +89,8 @@ __all__ = [
     "render_dispersion_table", "render_full_report",
     "render_processor_view_table",
     "render_region_view_table", "render_summary",
-    "RegionTrend", "TemporalAnalysis", "temporal_analysis",
+    "ActivityTrend", "Phase", "RegionTrend", "TemporalAnalysis",
+    "detect_phases", "temporal_analysis",
     "Finding", "diagnose", "render_diagnosis",
     "Efficiency", "ScalingPoint", "efficiency",
     "render_efficiency_table", "scaling_analysis",

@@ -35,7 +35,7 @@ all-equal rows, dash cells).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -392,6 +392,128 @@ def batch_dispersion_matrix(measurements: MeasurementSet,
                             index: str = "euclidean") -> np.ndarray:
     """One-shot vectorized ``ID_ij`` matrix (fresh, writable array)."""
     return BatchAnalysis(measurements).matrix(index).copy()
+
+
+def _masked_weighted_mean(matrix: np.ndarray, weights: np.ndarray,
+                          mask: np.ndarray, axis: int) -> np.ndarray:
+    """Weighted average over ``axis`` ignoring unmasked entries; nan
+    where the masked weights sum to zero (the vectorized analogue of
+    ``views._weighted_average``)."""
+    effective = np.where(mask, weights, 0.0)
+    weight_sums = effective.sum(axis=axis)
+    numerator = (np.where(mask, matrix, 0.0) * effective).sum(axis=axis)
+    safe = np.where(weight_sums > 0.0, weight_sums, 1.0)
+    return np.where(weight_sums > 0.0, numerator / safe, np.nan)
+
+
+class WindowedBatch:
+    """Per-window dispersion over a stack of measurement sets.
+
+    The W-window analogue of :class:`BatchAnalysis`: given measurement
+    sets sharing one ``(regions, activities, P)`` layout — e.g. the
+    output of :func:`repro.instrument.window_profiles` — the performed
+    cells of *all* windows are packed into a single ``(M, P)`` matrix
+    and every index of dispersion is one kernel call, instead of W
+    independent per-window analyses.  Row-wise kernels act on each
+    packed cell independently, so the stacked results are bit-identical
+    to running :class:`BatchAnalysis` window by window.
+    """
+
+    def __init__(self, measurement_sets: Sequence[MeasurementSet]):
+        sets = tuple(measurement_sets)
+        if not sets:
+            raise DispersionError("need at least one measurement set")
+        first = sets[0]
+        for ms in sets[1:]:
+            if (ms.regions != first.regions
+                    or ms.activities != first.activities
+                    or ms.n_processors != first.n_processors):
+                raise DispersionError(
+                    "all windows must share the same regions, activities "
+                    "and processor count")
+        self.measurement_sets = sets
+        #: (W, N, K, P) stacked tensors.
+        self.times = _readonly(np.stack([ms.times for ms in sets]))
+        #: (W, N, K) performed masks.
+        self.performed = _readonly(self.times.max(axis=3) > 0.0)
+        #: (W, N, K) per-window ``t_ij`` under each set's aggregation.
+        self.region_activity_times = _readonly(
+            np.stack([ms.region_activity_times for ms in sets]))
+        self._cells: Optional[np.ndarray] = None
+        self._matrices: Dict[str, np.ndarray] = {}
+        self._processor_dispersion: Optional[np.ndarray] = None
+
+    @property
+    def n_windows(self) -> int:
+        return self.times.shape[0]
+
+    @property
+    def cells(self) -> np.ndarray:
+        """(M, P) standardized slices of every performed cell of every
+        window, packed in (window, region, activity) row-major order."""
+        if self._cells is None:
+            packed = self.times[self.performed]
+            if packed.size:
+                packed = packed / packed.sum(axis=1, keepdims=True)
+            self._cells = _readonly(packed)
+        return self._cells
+
+    def matrix(self, index: str = "euclidean") -> np.ndarray:
+        """The (W, N, K) stack of ``ID_ij`` matrices under ``index``.
+
+        Vectorized kernel when registered, scalar per-row fallback for
+        custom indices; cached and read-only.
+        """
+        if index not in self._matrices:
+            kernel = _BATCH_REGISTRY.get(index)
+            if kernel is not None and self.cells.size:
+                values = kernel(self.cells)
+            elif self.cells.size:
+                index_function = get_index(index)
+                values = np.array([index_function(row)
+                                   for row in self.cells])
+            else:
+                values = np.empty(0)
+            stacked = np.full(self.performed.shape, np.nan)
+            stacked[self.performed] = values
+            self._matrices[index] = _readonly(stacked)
+        return self._matrices[index]
+
+    def region_index(self, index: str = "euclidean",
+                     weighting: str = "time") -> np.ndarray:
+        """(W, N) per-window region-view indices: the weighted average
+        of each region's ``ID_ij`` row, exactly as
+        :func:`repro.core.views.compute_region_view` computes it."""
+        return _masked_weighted_mean(
+            self.matrix(index), self._weights(weighting), self.performed,
+            axis=2)
+
+    def activity_index(self, index: str = "euclidean",
+                       weighting: str = "time") -> np.ndarray:
+        """(W, K) per-window activity-view indices."""
+        return _masked_weighted_mean(
+            self.matrix(index), self._weights(weighting), self.performed,
+            axis=1)
+
+    def _weights(self, weighting: str) -> np.ndarray:
+        if weighting == "time":
+            return self.region_activity_times
+        if weighting == "uniform":
+            return self.performed.astype(float)
+        raise DispersionError(
+            f"weighting must be 'time' or 'uniform', got {weighting!r}")
+
+    def processor_dispersion(self) -> np.ndarray:
+        """(W, N, P) per-window processor-view indices ``ID_P_ip``."""
+        if self._processor_dispersion is None:
+            from .standardize import standardize_over_activities
+            standardized = np.stack([standardize_over_activities(ms)
+                                     for ms in self.measurement_sets])
+            deviations = standardized - standardized.mean(axis=3,
+                                                          keepdims=True)
+            self._processor_dispersion = _readonly(
+                np.sqrt((deviations ** 2).sum(axis=2)))
+        return self._processor_dispersion
 
 
 class AnalysisSession:

@@ -97,16 +97,25 @@ def _assign(data: np.ndarray, centers: np.ndarray) -> Tuple[np.ndarray, np.ndarr
     return labels, distances
 
 
-def _update_centers(data: np.ndarray, labels: np.ndarray, k: int,
-                    rng: np.random.Generator) -> np.ndarray:
+def _update_centers(data: np.ndarray, labels: np.ndarray,
+                    k: int) -> np.ndarray:
     centers = np.empty((k, data.shape[1]))
+    empty = []
     for cluster in range(k):
         members = data[labels == cluster]
         if members.shape[0] == 0:
-            # Re-seed an empty cluster on the point farthest from its center.
-            centers[cluster] = data[int(rng.integers(data.shape[0]))]
+            empty.append(cluster)
         else:
             centers[cluster] = members.mean(axis=0)
+    if empty:
+        # Re-seed each empty cluster on the point farthest from its own
+        # (non-empty) cluster's new center — the worst-served point —
+        # taking the next-farthest for every further empty cluster.
+        # Deterministic: ties break on the lowest point index.
+        distances = ((data - centers[labels]) ** 2).sum(axis=1)
+        order = np.argsort(-distances, kind="stable")
+        for point, cluster in zip(order, empty):
+            centers[cluster] = data[point]
     return centers
 
 
@@ -173,7 +182,7 @@ def kmeans(points: Sequence, k: int, *, restarts: int = 10,
         labels, _ = _assign(data, centers)
         iterations = 0
         for iterations in range(1, max_iterations + 1):
-            centers_new = _update_centers(data, labels, k, rng)
+            centers_new = _update_centers(data, labels, k)
             labels_new, _ = _assign(data, centers_new)
             movement = float(np.abs(centers_new - centers).max())
             centers, labels = centers_new, labels_new

@@ -7,21 +7,81 @@ particle migration) — is invisible in a single profile, so this module
 extends the methodology along time: given a sequence of per-window
 measurement sets (from :func:`repro.instrument.window_profiles`), it
 
-* tracks each region's index of dispersion across windows,
-* fits a linear trend (least squares) per region,
+* tracks each region's and each activity's index of dispersion across
+  windows (evaluated through the stacked batch engine,
+  :class:`repro.core.batch.WindowedBatch` — one kernel call for all
+  windows, not W per-window analyses),
+* fits a linear trend (least squares) per series,
 * flags *drifting* regions — significant positive slope — which a
-  one-shot analysis would underestimate.
+  one-shot analysis would underestimate,
+* segments the series into *phases* (change-point detection on the
+  piecewise-constant model) and
+* forecasts the window at which a drifting series crosses a threshold
+  by extrapolating its fitted trend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import MeasurementError
-from .views import compute_region_view
+from .batch import WindowedBatch
+
+
+def _finite(series: Sequence[float]) -> List[float]:
+    return [value for value in series if not np.isnan(value)]
+
+
+def _amplification(series: Sequence[float]) -> float:
+    """End-to-end growth factor of a series.
+
+    Measured final over first finite value.  A series that *starts at
+    zero* — a region that begins perfectly balanced — is measured from
+    its first positive value instead, so degradation from balance is
+    never hidden behind a zero denominator; if the only positive value
+    is the final one the growth is reported as infinite.
+    """
+    finite = _finite(series)
+    if len(finite) < 2:
+        return 1.0
+    first, final = finite[0], finite[-1]
+    if first > 0.0:
+        return final / first
+    baselines = [value for value in finite[:-1] if value > 0.0]
+    if baselines:
+        return final / baselines[0]
+    return float("inf") if final > 0.0 else 1.0
+
+
+def _fit_line(series: np.ndarray) -> Tuple[float, float]:
+    """Least-squares ``(slope, intercept)`` over the finite entries."""
+    mask = ~np.isnan(series)
+    if mask.sum() < 2:
+        value = float(series[mask][0]) if mask.any() else 0.0
+        return 0.0, value
+    x = np.arange(series.size)[mask]
+    y = series[mask]
+    slope, intercept = np.polyfit(x, y, 1)
+    return float(slope), float(intercept)
+
+
+def _forecast_window(series: Sequence[float], slope: float,
+                     intercept: float, threshold: float) -> float:
+    """Window index at which the series reaches ``threshold``.
+
+    The first window already at or above the threshold if one exists;
+    otherwise the extrapolated crossing of the fitted line (``inf``
+    when the trend never reaches it).
+    """
+    for position, value in enumerate(series):
+        if not np.isnan(value) and value >= threshold:
+            return float(position)
+    if slope <= 0.0:
+        return float("inf")
+    return (threshold - intercept) / slope
 
 
 @dataclass(frozen=True)
@@ -35,34 +95,157 @@ class RegionTrend:
     slope: float
     #: Mean of the series (ignoring nan windows).
     mean: float
+    #: Least-squares intercept (window 0 value of the fitted line).
+    intercept: float = 0.0
 
     @property
     def final(self) -> float:
         """Last finite value of the series."""
-        finite = [value for value in self.series if not np.isnan(value)]
+        finite = _finite(self.series)
         return finite[-1] if finite else float("nan")
 
     @property
     def amplification(self) -> float:
-        """final / first-finite (how much the imbalance grew)."""
-        finite = [value for value in self.series if not np.isnan(value)]
-        if len(finite) < 2 or finite[0] <= 0.0:
-            return 1.0
-        return finite[-1] / finite[0]
+        """How much the imbalance grew end to end.
+
+        ``final / first-finite`` when the series starts positive.  A
+        region that starts perfectly balanced (first finite value 0) and
+        degrades is measured from its first positive value — and
+        reported as ``inf`` when the positive final value is the first
+        — so a zero start never masks the drift.
+        """
+        return _amplification(self.series)
+
+    def forecast_window(self, threshold: float) -> float:
+        """Window index at which this region reaches ``threshold`` (the
+        observed crossing, the trend-line extrapolation, or ``inf``)."""
+        return _forecast_window(self.series, self.slope, self.intercept,
+                                threshold)
+
+
+@dataclass(frozen=True)
+class ActivityTrend:
+    """Evolution of one activity's imbalance across windows."""
+
+    activity: str
+    series: Tuple[float, ...]
+    slope: float
+    mean: float
+    intercept: float = 0.0
+
+    @property
+    def final(self) -> float:
+        finite = _finite(self.series)
+        return finite[-1] if finite else float("nan")
+
+    @property
+    def amplification(self) -> float:
+        return _amplification(self.series)
+
+    def forecast_window(self, threshold: float) -> float:
+        return _forecast_window(self.series, self.slope, self.intercept,
+                                threshold)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One segment of windows with (approximately) stationary imbalance."""
+
+    #: First window of the phase.
+    begin: int
+    #: One past the last window of the phase.
+    end: int
+    #: Mean of the finite series values inside the phase.
+    mean: float
+
+    @property
+    def n_windows(self) -> int:
+        return self.end - self.begin
+
+
+def detect_phases(series: Sequence[float], penalty: Optional[float] = None,
+                  min_size: int = 1) -> Tuple[Phase, ...]:
+    """Segment a per-window series into phases of stationary level.
+
+    Exact change-point detection under the piecewise-constant model:
+    dynamic programming minimizes the within-segment sum of squared
+    deviations plus ``penalty`` per additional segment.  The default
+    penalty is BIC-flavoured — twice the first-difference noise
+    variance times ``log(n)`` — so step changes well above the
+    window-to-window jitter become boundaries and noise does not.  nan
+    entries (idle windows) carry no evidence: they are filled with the
+    finite mean for the cost computation.
+    """
+    values = np.asarray(list(series), dtype=float)
+    n = values.size
+    if n == 0:
+        raise MeasurementError("cannot segment an empty series")
+    if min_size < 1:
+        raise MeasurementError("min_size must be at least 1")
+    finite_mask = np.isfinite(values)
+    if not finite_mask.any():
+        return (Phase(begin=0, end=n, mean=float("nan")),)
+    filled = np.where(finite_mask, values, values[finite_mask].mean())
+    if penalty is None:
+        diffs = np.diff(filled)
+        sigma_sq = float(diffs.var() / 2.0) if diffs.size else 0.0
+        penalty = 2.0 * sigma_sq * np.log(max(n, 2))
+    if penalty <= 0.0:
+        penalty = 1e-12
+
+    prefix = np.concatenate(([0.0], np.cumsum(filled)))
+    prefix_sq = np.concatenate(([0.0], np.cumsum(filled ** 2)))
+
+    def segment_cost(start: int, stop: int) -> float:
+        total = prefix[stop] - prefix[start]
+        total_sq = prefix_sq[stop] - prefix_sq[start]
+        return total_sq - total * total / (stop - start)
+
+    best = np.full(n + 1, np.inf)
+    best[0] = -float(penalty)
+    previous = np.zeros(n + 1, dtype=int)
+    for stop in range(min_size, n + 1):
+        for start in range(0, stop - min_size + 1):
+            if not np.isfinite(best[start]):
+                continue
+            cost = best[start] + penalty + segment_cost(start, stop)
+            if cost < best[stop] - 1e-12:
+                best[stop] = cost
+                previous[stop] = start
+    boundaries = [n]
+    while boundaries[-1] > 0:
+        boundaries.append(int(previous[boundaries[-1]]))
+    boundaries.reverse()
+
+    phases = []
+    for begin, end in zip(boundaries, boundaries[1:]):
+        inside = values[begin:end]
+        inside = inside[np.isfinite(inside)]
+        phases.append(Phase(begin=begin, end=end,
+                            mean=float(inside.mean()) if inside.size
+                            else float("nan")))
+    return tuple(phases)
 
 
 @dataclass(frozen=True)
 class TemporalAnalysis:
-    """Trends of every region over the windows."""
+    """Trends of every region (and activity) over the windows."""
 
     trends: Tuple[RegionTrend, ...]
     n_windows: int
+    activity_trends: Tuple[ActivityTrend, ...] = ()
 
     def trend(self, region: str) -> RegionTrend:
         for candidate in self.trends:
             if candidate.region == region:
                 return candidate
         raise MeasurementError(f"unknown region {region!r}")
+
+    def activity_trend(self, activity: str) -> ActivityTrend:
+        for candidate in self.activity_trends:
+            if candidate.activity == activity:
+                return candidate
+        raise MeasurementError(f"unknown activity {activity!r}")
 
     def drifting_regions(self, slope_threshold: float = 0.0,
                          amplification_threshold: float = 1.5
@@ -80,14 +263,47 @@ class TemporalAnalysis:
         return tuple(trend.region for trend in self.trends
                      if abs(trend.slope) <= slope_tolerance)
 
+    def overall_series(self) -> Tuple[float, ...]:
+        """Mean of the finite region series per window — the program's
+        imbalance level over time."""
+        stacked = np.array([trend.series for trend in self.trends])
+        finite = ~np.isnan(stacked)
+        counts = finite.sum(axis=0)
+        sums = np.where(finite, stacked, 0.0).sum(axis=0)
+        means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        return tuple(float(value) for value in means)
 
-def _fit_slope(series: np.ndarray) -> float:
-    mask = ~np.isnan(series)
-    if mask.sum() < 2:
-        return 0.0
-    x = np.arange(series.size)[mask]
-    y = series[mask]
-    return float(np.polyfit(x, y, 1)[0])
+    def phases(self, region: Optional[str] = None,
+               penalty: Optional[float] = None) -> Tuple[Phase, ...]:
+        """Change-point segmentation of one region's series (or of the
+        overall per-window mean when ``region`` is None)."""
+        series = (self.trend(region).series if region is not None
+                  else self.overall_series())
+        return detect_phases(series, penalty=penalty)
+
+    def forecast(self, threshold: float) -> Dict[str, float]:
+        """Per region, the window index at which its imbalance reaches
+        ``threshold`` (observed, extrapolated, or ``inf`` — see
+        :meth:`RegionTrend.forecast_window`)."""
+        return {trend.region: trend.forecast_window(threshold)
+                for trend in self.trends}
+
+
+def _series_trends(names: Sequence[str], series: np.ndarray, factory):
+    """Fit one trend per column of the (W, len(names)) series matrix."""
+    trends = []
+    for position, name in enumerate(names):
+        values = series[:, position]
+        finite = values[~np.isnan(values)]
+        slope, intercept = _fit_line(values)
+        trends.append(factory(
+            name,
+            series=tuple(float(value) for value in values),
+            slope=slope,
+            mean=float(finite.mean()) if finite.size else float("nan"),
+            intercept=intercept,
+        ))
+    return tuple(trends)
 
 
 def temporal_analysis(windows: Sequence, index: str = "euclidean"
@@ -96,33 +312,53 @@ def temporal_analysis(windows: Sequence, index: str = "euclidean"
 
     Accepts :class:`repro.instrument.windows.Window` objects or plain
     :class:`~repro.core.measurements.MeasurementSet` instances; all must
-    share region names.
+    share region names.  Homogeneous windows (same activities and
+    processor count, the output of :func:`window_profiles`) are
+    evaluated through the stacked batch engine in one kernel call per
+    index; heterogeneous stacks fall back to per-window batch analyses.
     """
     if not windows:
         raise MeasurementError("need at least one window")
     measurement_sets = [getattr(window, "measurements", window)
                         for window in windows]
-    regions = measurement_sets[0].regions
+    first = measurement_sets[0]
+    regions = first.regions
     for ms in measurement_sets[1:]:
         if ms.regions != regions:
             raise MeasurementError(
                 "all windows must share the same region names")
+    homogeneous = all(
+        ms.activities == first.activities
+        and ms.n_processors == first.n_processors
+        for ms in measurement_sets[1:])
 
-    series: Dict[str, list] = {region: [] for region in regions}
-    for ms in measurement_sets:
-        view = compute_region_view(ms, index=index)
-        for i, region in enumerate(regions):
-            series[region].append(float(view.index[i]))
+    if homogeneous:
+        batch = WindowedBatch(measurement_sets)
+        region_series = batch.region_index(index)        # (W, N)
+        activity_series = batch.activity_index(index)    # (W, K)
+        activity_names: Tuple[str, ...] = first.activities
+    else:
+        from .views import compute_activity_and_region_views
+        region_rows = []
+        activity_rows = []
+        for ms in measurement_sets:
+            activity_view, region_view = \
+                compute_activity_and_region_views(ms, index=index)
+            region_rows.append(region_view.index)
+            activity_rows.append(activity_view.index)
+        region_series = np.array(region_rows)
+        same_activities = all(ms.activities == first.activities
+                              for ms in measurement_sets[1:])
+        activity_series = (np.array(activity_rows) if same_activities
+                           else np.empty((len(measurement_sets), 0)))
+        activity_names = first.activities if same_activities else ()
 
-    trends = []
-    for region in regions:
-        values = np.array(series[region])
-        finite = values[~np.isnan(values)]
-        trends.append(RegionTrend(
-            region=region,
-            series=tuple(values.tolist()),
-            slope=_fit_slope(values),
-            mean=float(finite.mean()) if finite.size else float("nan"),
-        ))
-    return TemporalAnalysis(trends=tuple(trends),
-                            n_windows=len(measurement_sets))
+    trends = _series_trends(
+        regions, region_series,
+        lambda name, **fields: RegionTrend(region=name, **fields))
+    activity_trends = _series_trends(
+        activity_names, activity_series,
+        lambda name, **fields: ActivityTrend(activity=name, **fields))
+    return TemporalAnalysis(trends=trends,
+                            n_windows=len(measurement_sets),
+                            activity_trends=activity_trends)

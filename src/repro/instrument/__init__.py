@@ -26,7 +26,9 @@ from .summary import RankUtilization, render_utilization, utilization
 from .filters import (filter_activities, filter_events, filter_ranks,
                       filter_regions, filter_time, merge,
                       relabel_region, shift_time)
-from .windows import Window, window_profiles, window_profiles_at
+from .windows import (Window, rescan_window_profiles,
+                      rescan_window_profiles_at, window_profiles,
+                      window_profiles_at)
 
 __all__ = [
     "read_any",
@@ -57,6 +59,8 @@ __all__ = [
     "filter_regions", "filter_time", "merge", "relabel_region",
     "shift_time",
     "Window",
+    "rescan_window_profiles",
+    "rescan_window_profiles_at",
     "window_profiles",
     "window_profiles_at",
 ]

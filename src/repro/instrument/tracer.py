@@ -28,6 +28,7 @@ class Tracer:
     def __init__(self) -> None:
         self._events: List[TraceEvent] = []
         self._rank_end: Dict[int, float] = {}
+        self._begin: float = float("inf")
 
     # ------------------------------------------------------------------
     # Recording
@@ -44,6 +45,8 @@ class Tracer:
     def add(self, event: TraceEvent) -> None:
         """Ingest one event (records may arrive in any time order)."""
         self._events.append(event)
+        if event.begin < self._begin:
+            self._begin = event.begin
         previous = self._rank_end.get(event.rank, 0.0)
         if event.end > previous:
             self._rank_end[event.rank] = event.end
@@ -57,6 +60,7 @@ class Tracer:
         """Drop everything recorded so far."""
         self._events.clear()
         self._rank_end.clear()
+        self._begin = float("inf")
 
     # ------------------------------------------------------------------
     # Inspection
@@ -75,6 +79,18 @@ class Tracer:
         if not self._rank_end:
             return 0
         return max(self._rank_end) + 1
+
+    @property
+    def begin(self) -> float:
+        """Earliest event begin time (0 when empty).
+
+        Traces do not necessarily start at t=0 — salvaged suffixes and
+        replayed segments keep their original clocks — so the windowing
+        code anchors its intervals here rather than at zero.
+        """
+        if not self._events:
+            return 0.0
+        return self._begin
 
     @property
     def elapsed(self) -> float:

@@ -3,6 +3,8 @@
 from .ascii_patterns import BAND_CHARS, render_pattern_grid, render_row
 from .heatmap import HEATMAP_LEGEND, render_heatmap
 from .lorenz import gini_summary, render_lorenz, render_region_lorenz
+from .sparkline import (SPARK_GAP, SPARK_LEVELS, render_sparkline,
+                        render_temporal_heatmap)
 from .tables import format_float_table, format_table
 from .timeline import ACTIVITY_CHARS, render_timeline
 
@@ -12,6 +14,10 @@ __all__ = [
     "render_row",
     "HEATMAP_LEGEND",
     "render_heatmap",
+    "SPARK_GAP",
+    "SPARK_LEVELS",
+    "render_sparkline",
+    "render_temporal_heatmap",
     "gini_summary",
     "render_lorenz",
     "render_region_lorenz",

@@ -250,3 +250,52 @@ class TestFaultsCommand:
         for case in ("straggler/cfd", "link/cfd", "drop/cfd", "crash/cfd",
                      "straggler/checkpoint", "crash/checkpoint"):
             assert case in out
+
+
+class TestTemporalCommand:
+    def test_basic(self, tracefile, capsys):
+        assert main(["temporal", tracefile]) == 0
+        out = capsys.readouterr().out
+        assert "time-resolved analysis" in out
+        assert "work" in out
+
+    def test_phases_and_forecast_flags(self, tracefile, capsys):
+        assert main(["temporal", tracefile, "--windows", "6",
+                     "--phases", "--forecast", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out.lower()
+        assert "forecast" in out.lower()
+
+    def test_heatmap_flag(self, tracefile, capsys):
+        assert main(["temporal", tracefile, "--heatmap"]) == 0
+        out = capsys.readouterr().out
+        assert any(level in out for level in "▁▂▃▄▅▆▇█")
+
+    def test_requires_trace_or_sweep(self, capsys):
+        assert main(["temporal"]) == 2
+        assert "trace file" in capsys.readouterr().err
+
+    def test_bad_window_count(self, tracefile, capsys):
+        assert main(["temporal", tracefile, "--windows", "0"]) == 2
+
+    def test_missing_sweep_directory(self, tmp_path, capsys):
+        assert main(["temporal", "--sweep", str(tmp_path / "nope")]) == 2
+
+    def test_sweep_directory(self, tracefile, capsys):
+        import os
+        directory = os.path.dirname(tracefile)
+        assert main(["temporal", "--sweep", directory,
+                     "--windows", "4", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Time-resolved sweep" in out
+        assert "run.jsonl" in out
+
+    def test_sweep_uses_cache_on_second_run(self, tracefile, capsys):
+        import os
+        directory = os.path.dirname(tracefile)
+        assert main(["temporal", "--sweep", directory,
+                     "--windows", "4"]) == 0
+        capsys.readouterr()
+        assert main(["temporal", "--sweep", directory,
+                     "--windows", "4"]) == 0
+        assert "[cached]" in capsys.readouterr().out

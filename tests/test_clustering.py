@@ -141,3 +141,44 @@ class TestClusterRegions:
     def test_bad_scale_rejected(self, paper_measurements):
         with pytest.raises(ClusteringError):
             cluster_regions(paper_measurements, 2, scale="log")
+
+
+class TestEmptyClusterReseed:
+    """_update_centers must re-seed an empty cluster on the point
+    farthest from its assigned center (the documented farthest-point
+    rule), deterministically."""
+
+    def test_farthest_point_becomes_the_new_center(self):
+        from repro.core.clustering import _update_centers
+        data = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]])
+        labels = np.array([0, 0, 0])
+        centers = _update_centers(data, labels, 2)
+        # Cluster 1 is empty; [10, 0] is farthest from cluster 0's
+        # mean and must seed it.
+        np.testing.assert_allclose(centers[1], [10.0, 0.0])
+
+    def test_reseed_is_deterministic(self):
+        from repro.core.clustering import _update_centers
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(40, 2))
+        labels = np.zeros(40, dtype=int)
+        first = _update_centers(data, labels, 3)
+        second = _update_centers(data, labels, 3)
+        np.testing.assert_array_equal(first, second)
+
+    def test_distinct_points_for_multiple_empty_clusters(self):
+        from repro.core.clustering import _update_centers
+        data = np.array([[0.0, 0.0], [5.0, 0.0], [-7.0, 0.0], [0.1, 0.0]])
+        labels = np.array([0, 0, 0, 0])
+        centers = _update_centers(data, labels, 3)
+        np.testing.assert_allclose(centers[1], [-7.0, 0.0])
+        np.testing.assert_allclose(centers[2], [5.0, 0.0])
+
+    def test_kmeans_survives_forced_empty_cluster(self):
+        # Three near-duplicate points and one far outlier with k=3:
+        # some restart inevitably empties a cluster mid-iteration.
+        data = np.array([[0.0, 0.0], [0.01, 0.0], [0.02, 0.0],
+                         [100.0, 0.0]])
+        result = kmeans(data, 3, seed=0, restarts=4)
+        assert np.isfinite(result.inertia)
+        assert len(set(result.labels.tolist())) <= 3

@@ -1,0 +1,155 @@
+"""Tests for the parallel trace sweep and its on-disk result cache."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.instrument import Tracer, write_tracer
+from repro.simmpi import Simulator
+from repro.sweep import (SweepConfig, TraceSummary, analyze_trace,
+                         discover_traces, summary_from_json,
+                         summary_to_json, sweep_traces, trace_key)
+
+
+def drifting_program(comm):
+    for step in range(3):
+        with comm.region("loop"):
+            skew = 1.0 + 0.5 * step * comm.rank
+            yield from comm.compute(1e-3 * skew)
+            yield from comm.barrier()
+
+
+def write_demo_trace(path, n_ranks=2):
+    tracer = Tracer()
+    Simulator(n_ranks, trace_sink=tracer.record).run(drifting_program)
+    write_tracer(path, tracer)
+    return path
+
+
+@pytest.fixture()
+def trace_dir(tmp_path):
+    write_demo_trace(tmp_path / "a.jsonl", n_ranks=2)
+    write_demo_trace(tmp_path / "b.jsonl", n_ranks=4)
+    return tmp_path
+
+
+class TestDiscovery:
+    def test_finds_trace_files_sorted(self, trace_dir):
+        (trace_dir / "notes.txt").write_text("not a trace")
+        found = discover_traces(trace_dir)
+        assert [p.name for p in found] == ["a.jsonl", "b.jsonl"]
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            discover_traces(tmp_path / "nope")
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            discover_traces(tmp_path)
+
+
+class TestTraceKey:
+    def test_key_tracks_content_and_config(self, trace_dir):
+        path = trace_dir / "a.jsonl"
+        base = trace_key(path, SweepConfig())
+        assert base == trace_key(path, SweepConfig())
+        assert base != trace_key(path, SweepConfig(n_windows=8))
+        path.write_text(path.read_text() + "\n")
+        assert base != trace_key(path, SweepConfig())
+
+
+class TestSummaryJson:
+    def test_round_trip_preserves_infinities(self, trace_dir):
+        config = SweepConfig(n_windows=4, forecast_threshold=1e9)
+        summary = analyze_trace(trace_dir / "a.jsonl", config)
+        assert summary.ok
+        clone = summary_from_json(summary_to_json(summary))
+        assert clone == summary
+        assert not clone.cached
+
+
+class TestAnalyzeTrace:
+    def test_summary_fields(self, trace_dir):
+        summary = analyze_trace(trace_dir / "a.jsonl",
+                                SweepConfig(n_windows=4))
+        assert summary.ok
+        assert summary.n_windows >= 1
+        assert summary.n_events > 0
+        assert summary.elapsed > 0.0
+        assert [r.region for r in summary.regions] == ["loop"]
+
+    def test_corrupt_trace_is_an_error_summary(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not a trace\n")
+        summary = analyze_trace(bad, SweepConfig())
+        assert not summary.ok
+        assert summary.error
+        assert summary.regions == ()
+
+
+class TestSweep:
+    def test_sweep_directory(self, trace_dir):
+        results = sweep_traces(trace_dir, SweepConfig(n_windows=4))
+        assert len(results) == 2
+        assert all(s.ok for s in results)
+        assert [s.cached for s in results] == [False, False]
+
+    def test_second_run_is_served_from_cache(self, trace_dir):
+        config = SweepConfig(n_windows=4)
+        first = sweep_traces(trace_dir, config)
+        second = sweep_traces(trace_dir, config)
+        assert all(s.cached for s in second)
+        # cached=False vs True is excluded from equality: the payloads
+        # themselves must match exactly.
+        assert first == second
+        cache = trace_dir / ".repro-temporal-cache"
+        assert sorted(cache.glob("*.json"))
+
+    def test_no_cache_never_touches_disk(self, trace_dir):
+        sweep_traces(trace_dir, SweepConfig(n_windows=4), use_cache=False)
+        assert not (trace_dir / ".repro-temporal-cache").exists()
+
+    def test_damaged_trace_does_not_abort_the_sweep(self, trace_dir):
+        (trace_dir / "broken.jsonl").write_text("garbage\n")
+        results = sweep_traces(trace_dir, SweepConfig(n_windows=4))
+        by_name = {s.path.rsplit("/", 1)[-1]: s for s in results}
+        assert not by_name["broken.jsonl"].ok
+        assert by_name["a.jsonl"].ok and by_name["b.jsonl"].ok
+
+    def test_parallel_matches_serial(self, trace_dir):
+        config = SweepConfig(n_windows=4)
+        serial = sweep_traces(trace_dir, config, jobs=1, use_cache=False)
+        parallel = sweep_traces(trace_dir, config, jobs=2, use_cache=False)
+        assert serial == parallel
+
+    def test_explicit_path_list(self, trace_dir, tmp_path):
+        cache = tmp_path / "cache"
+        results = sweep_traces([trace_dir / "b.jsonl"],
+                               SweepConfig(n_windows=4), cache_dir=cache)
+        assert len(results) == 1
+        assert results[0].ok
+        assert sorted(cache.glob("*.json"))
+
+    def test_missing_trace_rejected(self, trace_dir):
+        with pytest.raises(ReproError):
+            sweep_traces([trace_dir / "ghost.jsonl"])
+
+    def test_empty_path_list_rejected(self):
+        with pytest.raises(ReproError):
+            sweep_traces([])
+
+    def test_corrupt_cache_entry_recomputed(self, trace_dir):
+        config = SweepConfig(n_windows=4)
+        sweep_traces(trace_dir, config)
+        cache = trace_dir / ".repro-temporal-cache"
+        for entry in cache.glob("*.json"):
+            entry.write_text("{broken json")
+        results = sweep_traces(trace_dir, config)
+        assert all(s.ok and not s.cached for s in results)
+
+    def test_drift_detected_in_drifting_trace(self, trace_dir):
+        config = SweepConfig(n_windows=6, amplification_threshold=1.1)
+        summary = analyze_trace(trace_dir / "b.jsonl", config)
+        assert summary.ok
+        # The program skews harder every step, so the sweep should
+        # call the loop region drifting.
+        assert "loop" in summary.drifting

@@ -2,10 +2,15 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core import MeasurementSet, temporal_analysis
+from repro.core import MeasurementSet, detect_phases, temporal_analysis
+from repro.core.temporal import _amplification
 from repro.errors import MeasurementError, TraceError
-from repro.instrument import Tracer, profile, window_profiles
+from repro.instrument import (Tracer, profile, rescan_window_profiles,
+                              rescan_window_profiles_at, shift_time,
+                              window_profiles, window_profiles_at)
 
 
 def make_tracer():
@@ -76,9 +81,10 @@ class TestTemporalAnalysis:
         assert trend.slope > 0.0
         assert trend.series[0] < trend.series[-1]
         # The first window is perfectly balanced (ID 0), so the
-        # end-to-end amplification is measured from the first nonzero
-        # value onward and reported as 1.0 by convention.
+        # amplification falls back to the first positive value as the
+        # baseline and still reports the degradation.
         assert trend.final > 0.5
+        assert trend.amplification > 1.0
 
     def test_flat_imbalance_is_stationary(self):
         tracer = Tracer()
@@ -141,3 +147,276 @@ class TestWindowProfilesAt:
             window_profiles_at(make_tracer(), [1.0, 1.0])
         with pytest.raises(TraceError):
             window_profiles_at(make_tracer(), [100.0, 200.0])
+
+
+def skewed_set(delta, region="r"):
+    """A one-region, two-processor set with imbalance ``delta``."""
+    times = np.zeros((1, 1, 2))
+    times[0, 0] = [1.0 + delta, 1.0 - delta]
+    return MeasurementSet(times, regions=(region,), activities=("X",))
+
+
+class TestAmplification:
+    """Regression suite for the balanced-start blind spot: a series
+    starting at exactly 0 used to report amplification 1.0 no matter
+    how badly it degraded."""
+
+    def test_positive_start_is_final_over_first(self):
+        assert _amplification([2.0, 1.0, 5.0]) == pytest.approx(2.5)
+
+    def test_zero_start_uses_first_positive_baseline(self):
+        assert _amplification([0.0, 2.0, 5.0]) == pytest.approx(2.5)
+
+    def test_zero_start_sudden_degradation_is_infinite(self):
+        assert _amplification([0.0, 0.0, 5.0]) == float("inf")
+
+    def test_all_zero_is_one(self):
+        assert _amplification([0.0, 0.0, 0.0]) == 1.0
+
+    def test_recovery_to_zero(self):
+        assert _amplification([0.0, 2.0, 0.0]) == 0.0
+
+    def test_nan_windows_skipped(self):
+        assert _amplification([float("nan"), 2.0, 4.0]) == pytest.approx(2.0)
+
+    def test_short_series_is_one(self):
+        assert _amplification([3.0]) == 1.0
+        assert _amplification([]) == 1.0
+
+    def test_balanced_start_then_degrading_region_is_flagged(self):
+        """Acceptance regression: a region that starts perfectly
+        balanced (index exactly 0) and then degrades must show up in
+        drifting_regions()."""
+        analysis = temporal_analysis(
+            [skewed_set(0.0), skewed_set(0.2), skewed_set(0.5)])
+        trend = analysis.trend("r")
+        assert trend.series[0] == pytest.approx(0.0)
+        assert trend.slope > 0.0
+        assert trend.amplification >= 1.5
+        assert "r" in analysis.drifting_regions()
+
+
+def offset_tracer(offset):
+    """The drifting two-rank trace translated to start at ``offset``."""
+    return shift_time(make_tracer(), offset)
+
+
+class TestSweepMatchesRescan:
+    """The single-pass sweep must be bit-identical to the historical
+    per-window rescan, offsets included."""
+
+    @staticmethod
+    def assert_windows_identical(old, new):
+        assert len(old) == len(new)
+        for reference, candidate in zip(old, new):
+            assert reference.begin == candidate.begin
+            assert reference.end == candidate.end
+            ms_old, ms_new = reference.measurements, candidate.measurements
+            assert ms_old.regions == ms_new.regions
+            assert ms_old.activities == ms_new.activities
+            assert np.array_equal(ms_old.times, ms_new.times)
+            assert ms_old.total_time == ms_new.total_time
+
+    @pytest.mark.parametrize("n_windows", [1, 2, 3, 7, 64])
+    def test_equal_windows(self, n_windows):
+        tracer = make_tracer()
+        self.assert_windows_identical(
+            rescan_window_profiles(tracer, n_windows),
+            window_profiles(tracer, n_windows))
+
+    @pytest.mark.parametrize("offset", [0.25, 5.0, 1234.5])
+    def test_offset_traces(self, offset):
+        tracer = offset_tracer(offset)
+        self.assert_windows_identical(
+            rescan_window_profiles(tracer, 5),
+            window_profiles(tracer, 5))
+
+    def test_explicit_boundaries(self):
+        tracer = make_tracer()
+        boundaries = [0.0, 0.4, 1.0, 2.2, 3.1]
+        self.assert_windows_identical(
+            rescan_window_profiles_at(tracer, boundaries),
+            window_profiles_at(tracer, boundaries))
+
+    def test_mixed_regions_and_activities(self):
+        tracer = Tracer()
+        tracer.record(0, "a", "computation", 0.0, 1.3)
+        tracer.record(1, "a", "point-to-point", 0.2, 0.9, kind="send")
+        tracer.record(0, "b", "synchronization", 1.3, 2.8, kind="wait")
+        tracer.record(1, "b", "computation", 1.0, 2.5)
+        self.assert_windows_identical(
+            rescan_window_profiles(tracer, 4),
+            window_profiles(tracer, 4))
+
+
+class TestOffsetWindows:
+    """window_profiles used to assume traces start at t=0: a trace
+    beginning at t=1000 produced windows covering [0, end] with all the
+    mass crammed into the tail."""
+
+    def test_edges_span_the_actual_extent(self):
+        tracer = offset_tracer(1000.0)
+        windows = window_profiles(tracer, 4)
+        assert windows[0].begin == pytest.approx(1000.0)
+        assert windows[-1].end == pytest.approx(1003.1)
+
+    def test_offset_windows_partition_the_tensor(self):
+        tracer = offset_tracer(1000.0)
+        whole = profile(tracer)
+        total = sum(w.measurements.times for w in window_profiles(tracer, 4))
+        np.testing.assert_allclose(total, whole.times, atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(offset=st.floats(min_value=0.0, max_value=1e6,
+                            allow_nan=False, allow_infinity=False),
+           n_windows=st.integers(min_value=1, max_value=9))
+    def test_windows_sum_to_whole_trace_under_any_offset(
+            self, offset, n_windows):
+        tracer = offset_tracer(offset)
+        whole = profile(tracer)
+        windows = window_profiles(tracer, n_windows)
+        total = sum(w.measurements.times for w in windows)
+        np.testing.assert_allclose(total, whole.times,
+                                   rtol=1e-9, atol=1e-9 * (1.0 + offset))
+
+
+class TestDetectPhases:
+    def test_step_change_found_at_boundary(self):
+        phases = detect_phases([0.0, 0.0, 0.0, 5.0, 5.0, 5.0])
+        assert len(phases) == 2
+        assert (phases[0].begin, phases[0].end) == (0, 3)
+        assert (phases[1].begin, phases[1].end) == (3, 6)
+        assert phases[0].mean == pytest.approx(0.0)
+        assert phases[1].mean == pytest.approx(5.0)
+
+    def test_flat_series_is_one_phase(self):
+        phases = detect_phases([2.0] * 8)
+        assert len(phases) == 1
+        assert phases[0].n_windows == 8
+
+    def test_jitter_around_a_step_yields_only_the_step(self):
+        rng = np.random.default_rng(7)
+        series = np.concatenate([np.zeros(16), np.full(16, 5.0)])
+        series += 0.01 * rng.standard_normal(32)
+        phases = detect_phases(series)
+        assert [p.begin for p in phases] == [0, 16]
+
+    def test_three_levels(self):
+        series = [0.0] * 4 + [3.0] * 4 + [9.0] * 4
+        phases = detect_phases(series)
+        assert [p.begin for p in phases] == [0, 4, 8]
+
+    def test_nan_windows_carry_no_evidence(self):
+        phases = detect_phases([0.0, float("nan"), 0.0, 5.0, 5.0, 5.0])
+        assert phases[-1].begin == 3
+
+    def test_all_nan_series_is_one_nan_phase(self):
+        phases = detect_phases([float("nan")] * 4)
+        assert len(phases) == 1
+        assert np.isnan(phases[0].mean)
+
+    def test_explicit_penalty_suppresses_splits(self):
+        series = [0.0, 0.0, 5.0, 5.0]
+        assert len(detect_phases(series)) == 2
+        assert len(detect_phases(series, penalty=1e6)) == 1
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(MeasurementError):
+            detect_phases([])
+
+    def test_bad_min_size_rejected(self):
+        with pytest.raises(MeasurementError):
+            detect_phases([1.0, 2.0], min_size=0)
+
+
+class TestForecast:
+    def drifting_analysis(self):
+        return temporal_analysis(
+            [skewed_set(0.1), skewed_set(0.2), skewed_set(0.3)])
+
+    def test_already_crossed_reports_first_observed_window(self):
+        trend = self.drifting_analysis().trend("r")
+        threshold = trend.series[1]
+        assert trend.forecast_window(threshold) == 1.0
+
+    def test_future_crossing_extrapolates(self):
+        trend = self.drifting_analysis().trend("r")
+        threshold = trend.series[-1] + 2.0 * trend.slope
+        window = trend.forecast_window(threshold)
+        assert len(trend.series) - 1 < window < float("inf")
+
+    def test_declining_series_never_crosses(self):
+        analysis = temporal_analysis(
+            [skewed_set(0.3), skewed_set(0.2), skewed_set(0.1)])
+        assert analysis.trend("r").forecast_window(1e9) == float("inf")
+
+    def test_forecast_maps_every_region(self):
+        analysis = self.drifting_analysis()
+        forecasts = analysis.forecast(1e9)
+        assert set(forecasts) == {"r"}
+
+
+class TestTemporalEdgeCases:
+    def test_single_window(self):
+        analysis = temporal_analysis(window_profiles(make_tracer(), 1))
+        assert analysis.n_windows == 1
+        trend = analysis.trend("r")
+        assert trend.slope == 0.0
+        assert trend.amplification == 1.0
+        assert analysis.drifting_regions() == ()
+
+    def test_all_nan_region_series(self):
+        """A region that never runs has a nan index in every window;
+        it must neither crash nor be reported as drifting."""
+        def with_quiet(delta):
+            times = np.zeros((2, 1, 2))
+            times[0, 0] = [1.0 + delta, 1.0 - delta]
+            return MeasurementSet(times, regions=("r", "quiet"),
+                                  activities=("X",))
+
+        analysis = temporal_analysis(
+            [with_quiet(0.0), with_quiet(0.2), with_quiet(0.4)])
+        quiet = analysis.trend("quiet")
+        assert all(np.isnan(value) for value in quiet.series)
+        assert quiet.slope == 0.0
+        assert quiet.amplification == 1.0
+        assert "quiet" not in analysis.drifting_regions()
+        assert "r" in analysis.drifting_regions()
+
+    def test_mixed_windows_and_sets(self):
+        windows = window_profiles(make_tracer(), 2)
+        extra = windows[-1].measurements
+        analysis = temporal_analysis(list(windows) + [extra])
+        assert analysis.n_windows == 3
+
+    def test_mixed_inputs_with_mismatched_regions_rejected(self):
+        windows = window_profiles(make_tracer(), 2)
+        alien = MeasurementSet(np.ones((1, 1, 2)), regions=("other",),
+                               activities=("X",))
+        with pytest.raises(MeasurementError):
+            temporal_analysis(list(windows) + [alien])
+
+    def test_heterogeneous_processor_counts_fall_back(self):
+        """Sets with different P cannot stack; the per-window fallback
+        must still produce trends."""
+        wide = np.zeros((1, 1, 4))
+        wide[0, 0] = [1.4, 0.6, 1.0, 1.0]
+        analysis = temporal_analysis(
+            [skewed_set(0.0), skewed_set(0.2),
+             MeasurementSet(wide, regions=("r",), activities=("X",))])
+        assert analysis.n_windows == 3
+        assert analysis.trend("r").series[-1] > 0.0
+
+    def test_activity_trends_on_homogeneous_windows(self):
+        analysis = temporal_analysis(window_profiles(make_tracer(), 3))
+        trend = analysis.activity_trend("computation")
+        assert len(trend.series) == 3
+        with pytest.raises(MeasurementError):
+            analysis.activity_trend("quantum")
+
+    def test_phases_of_overall_series(self):
+        analysis = temporal_analysis(
+            [skewed_set(0.0)] * 3 + [skewed_set(0.5)] * 3)
+        phases = analysis.phases()
+        assert len(phases) == 2
+        assert phases[1].begin == 3
