@@ -1,0 +1,170 @@
+"""Eager vs streaming trace analysis — throughput and peak memory.
+
+Writes a deterministic synthetic trace at least ten times larger than
+the streaming chunk size, then profiles it twice: eagerly
+(:func:`read_trace` + :func:`profile`, which materializes every event)
+and through the out-of-core path (:func:`iter_trace` +
+:class:`OnlineAccumulator`).  Checks the two measurement sets are
+bit-identical, reports throughput, and — the acceptance bar — verifies
+the streaming peak RSS is *bounded*: it must stay below half the eager
+peak, because the eager peak grows with the event count while the
+streaming peak grows only with the chunk size and the layout.
+
+Metrics land in ``BENCH_stream.json`` next to the working directory.
+
+Run standalone::
+
+    python benchmarks/bench_stream.py           # full size, asserts bound
+    python benchmarks/bench_stream.py --quick   # CI smoke run
+
+or through pytest (``pytest benchmarks/bench_stream.py -s``), which
+executes the quick equivalence + memory-bound smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (resolves when installed or PYTHONPATH=src)
+except ImportError:                                  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core import OnlineAccumulator
+from repro.instrument import (TraceEvent, Tracer, iter_trace, profile,
+                              read_trace, write_trace)
+
+REGIONS = ("loop 1", "loop 2", "loop 3", "loop 4")
+ACTIVITIES = ("computation", "point-to-point", "collective",
+              "synchronization")
+
+#: (events, chunk_size): the trace holds >= 10 chunks, so a bounded
+#: streaming peak demonstrably does not scale with the event count.
+FULL = (200_000, 8192)
+QUICK = (12_000, 1024)
+#: Streaming must peak below this fraction of the eager peak.
+MEMORY_RATIO_CEILING = 0.5
+
+
+def synthetic_events(count: int):
+    """A deterministic event stream with realistic label variety."""
+    for index in range(count):
+        begin = index * 0.001
+        yield TraceEvent(rank=index % 16,
+                         region=REGIONS[(index // 16) % len(REGIONS)],
+                         activity=ACTIVITIES[index % len(ACTIVITIES)],
+                         begin=begin,
+                         end=begin + 0.0005 + (index % 7) * 0.0001,
+                         nbytes=index % 4096, partner=(index + 1) % 16)
+
+
+def peak_of(function):
+    """(result, wall seconds, tracemalloc peak bytes) of one call."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = function()
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, elapsed, peak
+
+
+def eager_profile(path):
+    tracer = Tracer()
+    tracer.extend(read_trace(path))
+    return profile(tracer)
+
+
+def streamed_profile(path, chunk_size):
+    return OnlineAccumulator().consume(
+        iter_trace(path, chunk_size=chunk_size)).finalize()
+
+
+def run(count: int, chunk_size: int) -> dict:
+    with tempfile.TemporaryDirectory() as directory:
+        path = Path(directory) / "bench.jsonl"
+        write_trace(path, synthetic_events(count))
+        trace_bytes = path.stat().st_size
+        eager, eager_time, eager_peak = peak_of(
+            lambda: eager_profile(path))
+        streamed, stream_time, stream_peak = peak_of(
+            lambda: streamed_profile(path, chunk_size))
+    if eager.regions != streamed.regions \
+            or not np.array_equal(eager.times, streamed.times) \
+            or eager.total_time != streamed.total_time:
+        raise AssertionError("streaming diverged from the eager profile")
+    return {
+        "events": count,
+        "chunk_size": chunk_size,
+        "trace_bytes": trace_bytes,
+        "eager_seconds": eager_time,
+        "stream_seconds": stream_time,
+        "eager_peak_bytes": eager_peak,
+        "stream_peak_bytes": stream_peak,
+        "peak_ratio": stream_peak / eager_peak,
+        "eager_events_per_second": count / eager_time,
+        "stream_events_per_second": count / stream_time,
+    }
+
+
+def render(metrics: dict) -> str:
+    return "\n".join([
+        f"trace: {metrics['events']} events "
+        f"({metrics['trace_bytes'] / 1e6:.1f} MB), "
+        f"chunk size {metrics['chunk_size']} "
+        f"({metrics['events'] / metrics['chunk_size']:.0f} chunks)",
+        f"eager:  {metrics['eager_seconds'] * 1e3:8.1f} ms  "
+        f"({metrics['eager_events_per_second'] / 1e3:7.0f}k events/s)  "
+        f"peak {metrics['eager_peak_bytes'] / 1e6:7.1f} MB",
+        f"stream: {metrics['stream_seconds'] * 1e3:8.1f} ms  "
+        f"({metrics['stream_events_per_second'] / 1e3:7.0f}k events/s)  "
+        f"peak {metrics['stream_peak_bytes'] / 1e6:7.1f} MB",
+        f"peak ratio: {metrics['peak_ratio']:.3f} "
+        f"(ceiling {MEMORY_RATIO_CEILING})",
+    ])
+
+
+def test_stream_quick_smoke():
+    """Pytest entry point: bit-identical results and a bounded peak on
+    the small trace (>= 10 chunks, so the bound is meaningful)."""
+    metrics = run(*QUICK)
+    assert metrics["peak_ratio"] < MEMORY_RATIO_CEILING
+    print()
+    print(render(metrics))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="eager vs streaming trace analysis")
+    parser.add_argument("--quick", action="store_true",
+                        help="small trace (CI smoke run)")
+    parser.add_argument("--output", default="BENCH_stream.json",
+                        help="metrics file (default: BENCH_stream.json)")
+    arguments = parser.parse_args(argv)
+
+    count, chunk_size = QUICK if arguments.quick else FULL
+    metrics = run(count, chunk_size)
+    print(render(metrics))
+    Path(arguments.output).write_text(json.dumps(metrics, indent=2) + "\n")
+    print(f"\nwrote {arguments.output}")
+
+    if metrics["peak_ratio"] >= MEMORY_RATIO_CEILING:
+        print(f"\nFAIL: streaming peaked at "
+              f"{metrics['peak_ratio']:.2f}x the eager peak "
+              f"(ceiling {MEMORY_RATIO_CEILING})")
+        return 1
+    print(f"\nOK: results bit-identical, streaming peak bounded at "
+          f"{metrics['peak_ratio']:.2f}x the eager peak")
+    return 0
+
+
+if __name__ == "__main__":                           # pragma: no cover
+    sys.exit(main())

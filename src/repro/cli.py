@@ -6,7 +6,10 @@ stack.  Subcommands:
 
 * ``repro analyze TRACEFILE``   — post-mortem analysis of a trace file
   (as written by :func:`repro.instrument.write_trace`): full report,
-  optional pattern figures and Lorenz curves.
+  optional pattern figures and Lorenz curves.  ``--stream`` analyzes
+  the trace out-of-core in bounded-memory chunks (``--chunk-size``),
+  and ``--jobs J`` fans the file out over J shard workers with a
+  deterministic merge — same report, any trace size.
 * ``repro paper``               — reproduce the paper's §4 example from
   the calibrated reconstruction (tables, figures, narrative).
 * ``repro cfd``                 — run the CFD workload on the simulator,
@@ -18,7 +21,8 @@ stack.  Subcommands:
 * ``repro temporal TRACEFILE``  — time-resolved analysis: per-window
   imbalance trends, drifting regions, phase detection and threshold
   forecasts; ``--sweep DIR`` fans the analysis out over every trace in
-  a directory (multiprocessing, on-disk content-keyed cache).
+  a directory (multiprocessing, on-disk content-keyed cache);
+  ``--stream`` windows a single trace in two bounded-memory passes.
 
 Trace files may be JSONL (optionally gzipped) or the compact binary
 format (``.rptb``); the readers sniff the format.  Damaged trace files
@@ -93,6 +97,20 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="exclude ranks with no recorded "
                                   "events (e.g. lost from a salvaged "
                                   "trace) from the analysis")
+    analyze_cmd.add_argument("--stream", action="store_true",
+                             help="stream the trace in bounded-memory "
+                                  "chunks instead of loading every "
+                                  "event (incompatible with --timeline "
+                                  "and --export-chrome)")
+    analyze_cmd.add_argument("--chunk-size", type=int, default=8192,
+                             metavar="N",
+                             help="events per streamed chunk "
+                                  "(default: 8192)")
+    analyze_cmd.add_argument("--jobs", type=int, default=None,
+                             metavar="J",
+                             help="with --stream: fan the file out "
+                                  "over J worker processes (sharded "
+                                  "map-reduce; default: sequential)")
 
     commands.add_parser(
         "paper", help="reproduce the paper's application example")
@@ -178,15 +196,59 @@ def _build_parser() -> argparse.ArgumentParser:
     temporal_cmd.add_argument("--strict", action="store_true",
                               help="refuse damaged trace files instead "
                                    "of salvaging their valid prefix")
+    temporal_cmd.add_argument("--stream", action="store_true",
+                              help="two-pass bounded-memory windowed "
+                                   "accumulation instead of loading "
+                                   "every event (single trace only)")
+    temporal_cmd.add_argument("--chunk-size", type=int, default=8192,
+                              metavar="N",
+                              help="events per streamed chunk "
+                                   "(default: 8192)")
     return parser
 
 
+def _check_stream_arguments(arguments) -> None:
+    if arguments.chunk_size < 1:
+        raise ReproError("--chunk-size must be at least 1")
+    jobs = getattr(arguments, "jobs", None)
+    if jobs is not None and jobs < 1:
+        raise ReproError("--jobs must be at least 1")
+
+
+def _streamed_measurements(arguments, on_error: str):
+    """Bounded-memory trace aggregation: sequential chunked streaming,
+    or the sharded map-reduce driver when --jobs asks for workers."""
+    _check_stream_arguments(arguments)
+    if arguments.jobs is not None and arguments.jobs > 1:
+        from .shards import shard_accumulate
+        accumulator = shard_accumulate(arguments.tracefile,
+                                       jobs=arguments.jobs,
+                                       chunk_size=arguments.chunk_size,
+                                       on_error=on_error)
+    else:
+        from .core.online import OnlineAccumulator
+        from .instrument.stream import iter_any
+        accumulator = OnlineAccumulator().consume(
+            iter_any(arguments.tracefile,
+                     chunk_size=arguments.chunk_size, on_error=on_error))
+    return accumulator.finalize()
+
+
 def _command_analyze(arguments) -> int:
-    from .instrument import read_any_tracer, profile
     from .core import AnalysisSession
     on_error = "raise" if arguments.strict else "salvage"
-    tracer = read_any_tracer(arguments.tracefile, on_error=on_error)
-    measurements = profile(tracer)
+    if arguments.stream:
+        for flag in ("timeline", "export_chrome"):
+            if getattr(arguments, flag):
+                raise ReproError(
+                    f"--{flag.replace('_', '-')} needs the full event "
+                    "list; drop --stream to use it")
+        tracer = None
+        measurements = _streamed_measurements(arguments, on_error)
+    else:
+        from .instrument import read_any_tracer, profile
+        tracer = read_any_tracer(arguments.tracefile, on_error=on_error)
+        measurements = profile(tracer)
     if arguments.drop_missing_ranks:
         missing = measurements.missing_processors()
         if missing:
@@ -332,9 +394,43 @@ def _format_level(value: float) -> str:
     return f"{value:.4g}"
 
 
+def _streamed_windows(arguments, on_error: str):
+    """Two-pass streaming windowed accumulation.
+
+    Pass 1 discovers the extent and the (region, activity, rank)
+    layout; pass 2 bins the same stream against the shared equal-slice
+    edges.  Produces the identical window list (and therefore report
+    text) as the in-memory windower.  Salvage warnings are silenced on
+    the second pass — the first already reported them.
+    """
+    import warnings as _warnings
+
+    from .core.online import OnlineAccumulator, WindowedAccumulator
+    from .errors import TraceWarning
+    from .instrument.stream import iter_any
+    from .instrument.windows import equal_edges
+    _check_stream_arguments(arguments)
+    scout = OnlineAccumulator().consume(
+        iter_any(arguments.tracefile, chunk_size=arguments.chunk_size,
+                 on_error=on_error))
+    layout = scout.finalize()
+    edges = equal_edges(scout.begin, scout.elapsed, arguments.windows)
+    binner = WindowedAccumulator(edges, layout.regions, layout.activities,
+                                 scout.n_ranks)
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("ignore", TraceWarning)
+        binner.consume(iter_any(arguments.tracefile,
+                                chunk_size=arguments.chunk_size,
+                                on_error=on_error))
+    return binner.finalize(), binner.n_events
+
+
 def _command_temporal(arguments) -> int:
     if arguments.windows < 1:
         raise ReproError("--windows must be at least 1")
+    if arguments.sweep and arguments.stream:
+        raise ReproError("--stream applies to a single trace; "
+                         "--sweep already streams per worker")
     if arguments.sweep:
         from .sweep import SweepConfig, render_sweep_table, sweep_traces
         config = SweepConfig(n_windows=arguments.windows,
@@ -353,17 +449,21 @@ def _command_temporal(arguments) -> int:
         raise ReproError("temporal needs a trace file (or --sweep DIR)")
 
     from .core.temporal import temporal_analysis
-    from .instrument import read_any_tracer, window_profiles
     from .viz import format_table, render_sparkline, render_temporal_heatmap
     on_error = "raise" if arguments.strict else "salvage"
-    tracer = read_any_tracer(arguments.tracefile, on_error=on_error)
-    windows = window_profiles(tracer, arguments.windows)
+    if arguments.stream:
+        windows, n_events = _streamed_windows(arguments, on_error)
+    else:
+        from .instrument import read_any_tracer, window_profiles
+        tracer = read_any_tracer(arguments.tracefile, on_error=on_error)
+        windows = window_profiles(tracer, arguments.windows)
+        n_events = len(tracer)
     analysis = temporal_analysis(windows, index=arguments.index)
     drifting = set(analysis.drifting_regions())
 
     span = windows[-1].end - windows[0].begin
     print(f"time-resolved analysis: {analysis.n_windows} windows over "
-          f"{span:.4g} s ({len(tracer)} events, index "
+          f"{span:.4g} s ({n_events} events, index "
           f"{arguments.index})\n")
     rows = []
     for trend in analysis.trends:

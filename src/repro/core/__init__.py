@@ -34,6 +34,7 @@ from .majorization import (balanced_vector, comparable, concentrated_vector,
                            weakly_majorizes)
 from .measurements import DEFAULT_ACTIVITIES, MeasurementSet
 from .methodology import AnalysisResult, Methodology, analyze
+from .online import OnlineAccumulator, WindowedAccumulator
 from .patterns import Band, PatternGrid, band_counts, classify, pattern_grid
 from .ranking import (RankedItem, RankingResult, agreement, kendall_distance,
                       rank, rank_by_elbow, rank_by_maximum,
@@ -80,6 +81,7 @@ __all__ = [
     "t_transform", "weakly_majorizes",
     "DEFAULT_ACTIVITIES", "MeasurementSet",
     "AnalysisResult", "Methodology", "analyze",
+    "OnlineAccumulator", "WindowedAccumulator",
     "Band", "PatternGrid", "band_counts", "classify", "pattern_grid",
     "RankedItem", "RankingResult", "agreement", "kendall_distance", "rank",
     "rank_by_elbow", "rank_by_maximum", "rank_by_percentile",

@@ -26,7 +26,9 @@ from .summary import RankUtilization, render_utilization, utilization
 from .filters import (filter_activities, filter_events, filter_ranks,
                       filter_regions, filter_time, merge,
                       relabel_region, shift_time)
-from .windows import (Window, rescan_window_profiles,
+from .stream import (iter_any, iter_binary_span, iter_binary_trace,
+                     iter_trace, iter_trace_span)
+from .windows import (Window, equal_edges, rescan_window_profiles,
                       rescan_window_profiles_at, window_profiles,
                       window_profiles_at)
 
@@ -58,7 +60,10 @@ __all__ = [
     "filter_activities", "filter_events", "filter_ranks",
     "filter_regions", "filter_time", "merge", "relabel_region",
     "shift_time",
+    "iter_any", "iter_binary_span", "iter_binary_trace",
+    "iter_trace", "iter_trace_span",
     "Window",
+    "equal_edges",
     "rescan_window_profiles",
     "rescan_window_profiles_at",
     "window_profiles",

@@ -92,6 +92,10 @@ def read_binary_trace(path: PathLike,
     record (header or string table) leaves nothing decodable and raises
     :class:`~repro.errors.TraceError` in both modes, as does
     ``on_error="raise"`` for any damage at all.
+
+    Trailing NUL padding after the promised records (block-padded
+    archival storage) is not damage: it is skipped in both modes, the
+    binary counterpart of the blank lines the JSONL reader skips.
     """
     if on_error not in ("salvage", "raise"):
         raise TraceError(
@@ -146,7 +150,8 @@ def read_binary_trace(path: PathLike,
         except TraceError as error:
             return _salvage(source, events,
                             f"record {record_index}: {error}", on_error)
-    if available != expected_bytes:
+    trailing = data[offset + expected_bytes:]
+    if available < expected_bytes or trailing.strip(b"\x00"):
         return _salvage(
             source, events,
             f"truncated: header promises {count} events "

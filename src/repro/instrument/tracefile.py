@@ -91,6 +91,11 @@ def read_trace(path: PathLike,
     ``"raise"`` turns any damage into a :class:`~repro.errors.TraceError`.
     A missing file, an unreadable header or a damaged file with no
     salvageable events raises in both modes.
+
+    Blank (whitespace-only) lines between or after events are not
+    damage: they are skipped in both modes and do not count against the
+    header's promised event count, mirroring the binary reader's
+    tolerance for trailing NUL padding.
     """
     _check_on_error(on_error)
     source = Path(path)
@@ -135,9 +140,10 @@ def read_trace(path: PathLike,
                         f"bad event at line {line_number}: {error}",
                         on_error)
                 events.append(event)
-    except (EOFError, OSError) as error:
+    except (EOFError, OSError, UnicodeDecodeError) as error:
         # A truncated gzip stream surfaces as EOFError (or BadGzipFile,
-        # an OSError) anywhere during iteration — whatever decompressed
+        # an OSError) anywhere during iteration; overwritten bytes can
+        # also break the UTF-8 decoding itself — whatever decoded
         # cleanly before the damage is the salvageable prefix.
         return _salvage(source, events, f"damaged stream: {error}",
                         on_error)

@@ -47,8 +47,8 @@ class Tracer:
         self._events.append(event)
         if event.begin < self._begin:
             self._begin = event.begin
-        previous = self._rank_end.get(event.rank, 0.0)
-        if event.end > previous:
+        previous = self._rank_end.get(event.rank)
+        if previous is None or event.end > previous:
             self._rank_end[event.rank] = event.end
 
     def extend(self, events: Iterable[TraceEvent]) -> None:

@@ -203,21 +203,27 @@ def window_profiles_at(tracer: Tracer, boundaries: Sequence[float],
     return _sweep_windows(tracer, edges, region_names, activity_names)
 
 
-def _equal_edges(tracer: Tracer, n_windows: int) -> List[float]:
-    """``n_windows`` equal slices of the trace's occupied extent.
+def equal_edges(begin: float, end: float, n_windows: int) -> List[float]:
+    """``n_windows`` equal slices of the extent ``[begin, end]``.
 
     Anchored at the actual first event time, not t=0; the final edge is
     pinned to the exact trace end so the last sliver of every event
-    survives the float arithmetic.
+    survives the float arithmetic.  Shared by the in-memory windower
+    and the streaming :class:`~repro.core.online.WindowedAccumulator`,
+    so both bin against bit-identical boundaries.
     """
-    begin = tracer.begin
-    end = tracer.elapsed
+    if n_windows < 1:
+        raise TraceError("need at least one window")
     span = end - begin
     if span <= 0.0:
         raise TraceError("trace spans no time")
     edges = [begin + span * k / n_windows for k in range(n_windows)]
     edges.append(end)
     return edges
+
+
+def _equal_edges(tracer: Tracer, n_windows: int) -> List[float]:
+    return equal_edges(tracer.begin, tracer.elapsed, n_windows)
 
 
 def window_profiles(tracer: Tracer, n_windows: int,

@@ -79,6 +79,29 @@ class TestValidation:
         with pytest.raises(TraceError):
             read_binary_trace(path)
 
+    def test_trailing_nul_padding_is_not_damage(self, tmp_path):
+        """Block-padded storage appends NULs after the records; both
+        modes read through them cleanly — the binary mirror of the
+        JSONL reader's blank-line tolerance."""
+        import warnings
+        path = tmp_path / "t.rptb"
+        write_binary_trace(path, sample_events())
+        path.write_bytes(path.read_bytes() + b"\x00" * 4096)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", TraceWarning)
+            assert read_binary_trace(path) == sample_events()
+            assert read_binary_trace(
+                path, on_error="raise") == sample_events()
+
+    def test_non_nul_trailing_bytes_are_damage(self, tmp_path):
+        path = tmp_path / "t.rptb"
+        write_binary_trace(path, sample_events())
+        path.write_bytes(path.read_bytes() + b"\x00extra")
+        with pytest.warns(TraceWarning, match="truncated"):
+            assert read_binary_trace(path) == sample_events()
+        with pytest.raises(TraceError):
+            read_binary_trace(path, on_error="raise")
+
 
 class TestSniffAndDispatch:
     def test_sniff_binary(self, tmp_path):

@@ -299,3 +299,177 @@ class TestTemporalCommand:
         assert main(["temporal", "--sweep", directory,
                      "--windows", "4"]) == 0
         assert "[cached]" in capsys.readouterr().out
+
+
+class TestStreamFlag:
+    """`analyze --stream`: same bytes as the eager path, same exit-code
+    contract (0 ok, 1 failed check, 2 usage/data error, 3 internal)."""
+
+    def _eager_output(self, tracefile, capsys, *extra):
+        assert main(["analyze", tracefile, *extra]) == 0
+        return capsys.readouterr().out
+
+    def test_stream_output_is_byte_identical(self, tracefile, capsys):
+        eager = self._eager_output(tracefile, capsys)
+        assert main(["analyze", tracefile, "--stream"]) == 0
+        assert capsys.readouterr().out == eager
+
+    def test_chunk_size_does_not_change_the_bytes(self, tracefile, capsys):
+        eager = self._eager_output(tracefile, capsys)
+        assert main(["analyze", tracefile, "--stream",
+                     "--chunk-size", "7"]) == 0
+        assert capsys.readouterr().out == eager
+
+    def test_sharded_jobs_render_the_same_bytes(self, tracefile, capsys):
+        eager = self._eager_output(tracefile, capsys)
+        assert main(["analyze", tracefile, "--stream", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == eager
+
+    def test_stream_reads_binary_traces(self, tracefile, tmp_path, capsys):
+        from repro.instrument import read_trace, write_binary_trace
+        binary = tmp_path / "t.rptb"
+        write_binary_trace(binary, read_trace(tracefile))
+        eager = self._eager_output(tracefile, capsys)
+        assert main(["analyze", str(binary), "--stream"]) == 0
+        assert capsys.readouterr().out == eager
+
+    def test_stream_reads_gzip_traces(self, tracefile, tmp_path, capsys):
+        import gzip
+        import pathlib
+        gz = tmp_path / "t.jsonl.gz"
+        gz.write_bytes(gzip.compress(
+            pathlib.Path(tracefile).read_bytes()))
+        eager = self._eager_output(tracefile, capsys)
+        assert main(["analyze", str(gz), "--stream"]) == 0
+        assert capsys.readouterr().out == eager
+
+    def test_stream_with_index_and_diagnose(self, tracefile, capsys):
+        eager = self._eager_output(tracefile, capsys, "--index", "cv",
+                                   "--diagnose")
+        assert main(["analyze", tracefile, "--stream", "--index", "cv",
+                     "--diagnose"]) == 0
+        assert capsys.readouterr().out == eager
+
+    def test_stream_with_drop_missing_ranks(self, tracefile, tmp_path,
+                                            capsys):
+        from repro.instrument import read_trace, write_trace
+        events = [event for event in read_trace(tracefile)
+                  if event.rank != 2]
+        sparse = tmp_path / "sparse.jsonl"
+        write_trace(sparse, events)
+        assert main(["analyze", str(sparse), "--stream",
+                     "--drop-missing-ranks"]) == 0
+        out = capsys.readouterr().out
+        assert "dropping rank(s) with no recorded events: 2" in out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "none.jsonl"),
+                     "--stream"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unsupported_format_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "t.dat"
+        bad.write_bytes(b"definitely not a trace")
+        assert main(["analyze", str(bad), "--stream"]) == 2
+        assert "no supported trace format" in capsys.readouterr().err
+
+    def test_bad_chunk_size_exits_2(self, tracefile, capsys):
+        assert main(["analyze", tracefile, "--stream",
+                     "--chunk-size", "0"]) == 2
+        assert "--chunk-size" in capsys.readouterr().err
+
+    def test_bad_jobs_exits_2(self, tracefile, capsys):
+        assert main(["analyze", tracefile, "--stream", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_timeline_is_incompatible(self, tracefile, capsys):
+        assert main(["analyze", tracefile, "--stream", "--timeline"]) == 2
+        assert "drop --stream" in capsys.readouterr().err
+
+    def test_export_chrome_is_incompatible(self, tracefile, tmp_path,
+                                           capsys):
+        assert main(["analyze", tracefile, "--stream",
+                     "--export-chrome", str(tmp_path / "t.json")]) == 2
+        assert "drop --stream" in capsys.readouterr().err
+
+
+class TestStreamSalvageFlags:
+    """Damaged inputs through the streaming path: salvage by default,
+    exit 2 under --strict — for plain, gzip and binary traces."""
+
+    def _truncated_plain(self, tracefile, tmp_path):
+        import pathlib
+        lines = pathlib.Path(tracefile).read_text().splitlines()
+        cut = tmp_path / "cut.jsonl"
+        cut.write_text("\n".join(lines[:-1]) + "\n")
+        return str(cut)
+
+    def _truncated_gzip(self, tracefile, tmp_path):
+        import gzip
+        import pathlib
+        data = gzip.compress(pathlib.Path(tracefile).read_bytes())
+        cut = tmp_path / "cut.jsonl.gz"
+        cut.write_bytes(data[:len(data) - 30])
+        return str(cut)
+
+    def _truncated_binary(self, tracefile, tmp_path):
+        from repro.instrument import read_trace, write_binary_trace
+        cut = tmp_path / "cut.rptb"
+        write_binary_trace(cut, read_trace(tracefile))
+        cut.write_bytes(cut.read_bytes()[:-20])
+        return str(cut)
+
+    @pytest.mark.parametrize("make", ["_truncated_plain",
+                                      "_truncated_gzip",
+                                      "_truncated_binary"])
+    def test_stream_salvages_by_default(self, tracefile, tmp_path, capsys,
+                                        make):
+        from repro.errors import TraceWarning
+        cut = getattr(self, make)(tracefile, tmp_path)
+        with pytest.warns(TraceWarning):
+            assert main(["analyze", cut, "--stream"]) == 0
+        assert "Top-down analysis summary" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("make", ["_truncated_plain",
+                                      "_truncated_gzip",
+                                      "_truncated_binary"])
+    def test_stream_strict_refuses_damage(self, tracefile, tmp_path,
+                                          capsys, make):
+        cut = getattr(self, make)(tracefile, tmp_path)
+        assert main(["analyze", cut, "--stream", "--strict"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_strict_sharded_jobs_also_refuse(self, tracefile, tmp_path,
+                                             capsys):
+        cut = self._truncated_plain(tracefile, tmp_path)
+        assert main(["analyze", cut, "--stream", "--strict",
+                     "--jobs", "2"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTemporalStreamFlag:
+    def test_stream_output_is_byte_identical(self, tracefile, capsys):
+        assert main(["temporal", tracefile, "--windows", "5"]) == 0
+        eager = capsys.readouterr().out
+        assert main(["temporal", tracefile, "--windows", "5",
+                     "--stream"]) == 0
+        assert capsys.readouterr().out == eager
+
+    def test_stream_with_phases_and_small_chunks(self, tracefile, capsys):
+        assert main(["temporal", tracefile, "--windows", "6",
+                     "--phases"]) == 0
+        eager = capsys.readouterr().out
+        assert main(["temporal", tracefile, "--windows", "6", "--phases",
+                     "--stream", "--chunk-size", "13"]) == 0
+        assert capsys.readouterr().out == eager
+
+    def test_stream_is_incompatible_with_sweep(self, tracefile, capsys):
+        import os
+        assert main(["temporal", "--sweep", os.path.dirname(tracefile),
+                     "--stream"]) == 2
+        assert "--sweep already streams" in capsys.readouterr().err
+
+    def test_bad_chunk_size_exits_2(self, tracefile, capsys):
+        assert main(["temporal", tracefile, "--stream",
+                     "--chunk-size", "-3"]) == 2
+        assert "--chunk-size" in capsys.readouterr().err

@@ -15,6 +15,7 @@ are computed, never a single published number.
 from pathlib import Path
 
 import numpy as np
+import pytest
 
 from repro.core import (AnalysisSession, BatchAnalysis, analyze,
                         batch_dispersion_matrix, render_full_report,
@@ -62,3 +63,59 @@ def test_batch_matrix_nan_pattern_matches_paper_dashes(paper_measurements):
     matrix = BatchAnalysis(paper_measurements).matrix("euclidean")
     assert np.array_equal(np.isnan(matrix),
                           ~paper_measurements.performed)
+
+
+@pytest.fixture(scope="module")
+def paper_trace(tmp_path_factory, paper_measurements):
+    """A trace whose profile *is* the paper's measurement set.
+
+    One event per performed ``(region, activity, processor)`` cell,
+    emitted region-major so first-appearance ordering reproduces the
+    paper's region order; single-event cells make every floating-point
+    sum exact.  A rank-0 outside-region event spanning ``[0, T]`` pins
+    the elapsed time to the paper's ``T`` (which exceeds the covered
+    time, so ``max(elapsed, covered)`` picks it up unchanged).
+    """
+    from repro.instrument import write_trace
+    from repro.instrument.events import OUTSIDE_REGION, TraceEvent
+
+    m = paper_measurements
+    events = [TraceEvent(0, OUTSIDE_REGION, "computation",
+                         0.0, m.total_time)]
+    for i, region in enumerate(m.regions):
+        for j, activity in enumerate(m.activities):
+            for rank in range(m.n_processors):
+                value = m.times[i, j, rank]
+                if value > 0.0:
+                    events.append(TraceEvent(rank, region, activity,
+                                             0.0, value))
+    path = tmp_path_factory.mktemp("paper") / "paper.jsonl"
+    write_trace(path, events)
+    return str(path)
+
+
+def test_streamed_analyze_renders_the_golden_bytes(paper_trace, capsys):
+    """`repro analyze --stream` on the paper trace must print the very
+    bytes of docs/paper_report.txt — the streaming engine changes *how*
+    the tables are computed, never a single published number."""
+    from repro.cli import main
+    assert main(["analyze", paper_trace, "--stream"]) == 0
+    assert capsys.readouterr().out == GOLDEN.read_text()
+
+
+def test_sharded_analyze_renders_the_golden_bytes(paper_trace, capsys):
+    """The sharded map-reduce path renders the same bytes: the report
+    rounds far above the summation-tree difference of merged shards."""
+    from repro.cli import main
+    assert main(["analyze", paper_trace, "--stream", "--jobs", "2"]) == 0
+    assert capsys.readouterr().out == GOLDEN.read_text()
+
+
+def test_streamed_and_eager_cli_agree_on_the_paper_trace(paper_trace,
+                                                         capsys):
+    from repro.cli import main
+    assert main(["analyze", paper_trace]) == 0
+    eager = capsys.readouterr().out
+    assert main(["analyze", paper_trace, "--stream",
+                 "--chunk-size", "64"]) == 0
+    assert capsys.readouterr().out == eager == GOLDEN.read_text()

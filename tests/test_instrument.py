@@ -48,6 +48,17 @@ class TestTracer:
         assert tracer.elapsed == 3.0
         assert tracer.n_ranks == 3
 
+    def test_rank_counts_even_when_its_events_end_at_zero(self):
+        """A zero-duration event at t=0 still registers its rank (it
+        used to slip past the running max and crash profile with an
+        out-of-range rank)."""
+        tracer = Tracer()
+        tracer.record(0, "r", "computation", 0.0, 1.0)
+        tracer.record(3, "r", "computation", 0.0, 0.0)
+        assert tracer.n_ranks == 4
+        from repro.instrument import profile
+        assert profile(tracer).n_processors == 4
+
     def test_regions_in_first_appearance_order(self):
         tracer = Tracer()
         tracer.record(0, "b", "computation", 0.0, 1.0)

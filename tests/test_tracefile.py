@@ -121,6 +121,23 @@ class TestValidation:
         with pytest.raises(TraceError):
             read_trace(path, on_error="explode")
 
+    def test_blank_lines_are_not_damage(self, tmp_path):
+        """Blank and whitespace-only lines between or after events are
+        skipped in both modes without counting against the header's
+        promised event count — the JSONL mirror of the binary reader's
+        trailing NUL-padding tolerance."""
+        import warnings
+        path = tmp_path / "t.jsonl"
+        write_trace(path, sample_events())
+        lines = path.read_text().splitlines()
+        lines.insert(2, "")
+        lines.insert(4, " \t ")
+        path.write_text("\n".join(lines) + "\n\n\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", TraceWarning)
+            assert read_trace(path) == sample_events()
+            assert read_trace(path, on_error="raise") == sample_events()
+
 
 class TestEndToEndFileWorkflow:
     def test_simulate_write_read_profile(self, tmp_path):
