@@ -1,0 +1,161 @@
+"""Serving throughput — cached-report fetches against a live daemon.
+
+Starts an in-process :class:`~repro.serve.AnalysisServer` on an
+ephemeral port, submits the synthesized paper trace, forces one cold
+(cache-miss) report computation, then hammers the daemon with
+concurrent cache-hit fetches over real HTTP.  Reports throughput and
+p50/p99 latency for the hit path next to the one-off miss cost, and —
+the acceptance bar — verifies the cached path sustains at least
+``MIN_HIT_RPS`` requests per second: a hit must never pay the analysis
+pipeline, only a file read and a JSON hop.
+
+Metrics land in ``BENCH_serve.json`` next to the working directory.
+
+Run standalone::
+
+    python benchmarks/bench_serve.py           # full run, asserts the floor
+    python benchmarks/bench_serve.py --quick   # CI smoke run
+
+or through pytest (``pytest benchmarks/bench_serve.py -s``), which
+executes the quick throughput smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (resolves when installed or PYTHONPATH=src)
+except ImportError:                                  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.calibrate import synthesize_paper_trace
+from repro.serve import AnalysisServer, ServeClient
+
+#: (total cache-hit fetches, client threads)
+FULL = (600, 8)
+QUICK = (120, 4)
+#: The acceptance floor: cached-report fetches per second.
+MIN_HIT_RPS = 100.0
+
+
+def percentile(samples, q):
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = max(1, round(q / 100 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def timed_fetch(client, sha):
+    start = time.perf_counter()
+    payload = client.report(sha, "analyze")
+    return payload, time.perf_counter() - start
+
+
+def run(requests: int, threads: int) -> dict:
+    with tempfile.TemporaryDirectory() as directory:
+        trace = Path(directory) / "paper.jsonl"
+        synthesize_paper_trace(trace)
+        with AnalysisServer(Path(directory) / "store", port=0,
+                            workers=threads) as daemon:
+            clients = [ServeClient(daemon.url) for _ in range(threads)]
+            sha = clients[0].submit(trace)["sha256"]
+
+            cold, miss_seconds = timed_fetch(clients[0], sha)
+            if cold["cached"] or cold["status"] != "ok":
+                raise AssertionError("first fetch should be a clean miss")
+            expected = cold["text"]
+
+            latencies = []
+            start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                futures = [
+                    pool.submit(timed_fetch, clients[i % threads], sha)
+                    for i in range(requests)]
+                for future in futures:
+                    payload, seconds = future.result()
+                    if payload["text"] != expected or not payload["cached"]:
+                        raise AssertionError(
+                            "cache-hit fetch diverged from the cold report")
+                    latencies.append(seconds)
+            elapsed = time.perf_counter() - start
+            counters = clients[0].metrics()["counters"]
+    if counters["jobs_computed"] != 1:
+        raise AssertionError(
+            f"expected exactly one computation, saw "
+            f"{counters['jobs_computed']}")
+    return {
+        "requests": requests,
+        "threads": threads,
+        "report_bytes": len(expected.encode("utf-8")),
+        "miss_seconds": miss_seconds,
+        "hit_requests_per_second": requests / elapsed,
+        "hit_p50_seconds": percentile(latencies, 50),
+        "hit_p99_seconds": percentile(latencies, 99),
+        "hit_mean_seconds": sum(latencies) / len(latencies),
+        "miss_over_hit_p50": miss_seconds / percentile(latencies, 50),
+        "jobs_computed": counters["jobs_computed"],
+        "cache_hits": counters["report_cache_hits"],
+    }
+
+
+def render(metrics: dict) -> str:
+    return "\n".join([
+        f"workload: {metrics['requests']} cache-hit fetches, "
+        f"{metrics['threads']} client threads, "
+        f"{metrics['report_bytes']} report bytes",
+        f"miss (cold compute): {metrics['miss_seconds'] * 1e3:8.1f} ms "
+        f"(x{metrics['miss_over_hit_p50']:.0f} the hit p50)",
+        f"hit latency: p50 {metrics['hit_p50_seconds'] * 1e3:6.2f} ms   "
+        f"p99 {metrics['hit_p99_seconds'] * 1e3:6.2f} ms   "
+        f"mean {metrics['hit_mean_seconds'] * 1e3:6.2f} ms",
+        f"hit throughput: {metrics['hit_requests_per_second']:7.0f} req/s "
+        f"(floor {MIN_HIT_RPS:.0f}), computations: "
+        f"{metrics['jobs_computed']}",
+    ])
+
+
+def test_serve_quick_smoke():
+    """Pytest entry point: cached fetches are byte-stable, computed
+    once, and clear the throughput floor on the small workload."""
+    metrics = run(*QUICK)
+    assert metrics["hit_requests_per_second"] >= MIN_HIT_RPS
+    assert metrics["jobs_computed"] == 1
+    print()
+    print(render(metrics))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cached-report serving throughput")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload (CI smoke run)")
+    parser.add_argument("--output", default="BENCH_serve.json",
+                        help="metrics file (default: BENCH_serve.json)")
+    arguments = parser.parse_args(argv)
+
+    requests, threads = QUICK if arguments.quick else FULL
+    metrics = run(requests, threads)
+    print(render(metrics))
+    Path(arguments.output).write_text(json.dumps(metrics, indent=2) + "\n")
+    print(f"\nwrote {arguments.output}")
+
+    if metrics["hit_requests_per_second"] < MIN_HIT_RPS:
+        print(f"\nFAIL: cached fetches ran at "
+              f"{metrics['hit_requests_per_second']:.0f} req/s "
+              f"(floor {MIN_HIT_RPS:.0f})")
+        return 1
+    print(f"\nOK: one computation served {metrics['requests']} "
+          f"byte-identical fetches at "
+          f"{metrics['hit_requests_per_second']:.0f} req/s")
+    return 0
+
+
+if __name__ == "__main__":                           # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""Shared on-disk, content-keyed result cache.
+
+Two subsystems memoize analysis results on disk: the time-resolved
+sweep (:mod:`repro.sweep`) and the analysis service daemon
+(:mod:`repro.serve`).  Both need the same two ingredients, factored
+out here so every cache in the package behaves identically:
+
+* :func:`content_key` — a sha256 key over *(namespace, format version,
+  package version, parameters, input bytes)*.  Hashing the input's
+  bytes (not its path or mtime) means a file edited in place never
+  serves a stale result, and re-running after adding one trace
+  recomputes exactly that trace.  The key is **independent of how the
+  bytes are fed in**: hashing a file path chunk by chunk and hashing
+  the same bytes eagerly produce the same key (property-tested).
+* :class:`ReportCache` — a directory of ``<key><suffix>`` text
+  entries with crash-safe writes (temp file + :func:`os.replace`, so
+  concurrent writers and readers never observe a torn entry) and a
+  tolerant reader (a missing or unreadable entry is a miss, never an
+  error).  Corruption *inside* a payload is the caller's to detect —
+  the cache stores opaque text.
+
+The cache directory is created lazily on the first write, so a
+read-only consumer (``use_cache=False`` sweeps, cold daemons) never
+touches the disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Iterator, Mapping, Optional, Union
+
+from . import __version__
+
+PathLike = Union[str, Path]
+
+#: Chunk size for hashing file contents without loading them whole.
+_HASH_CHUNK = 1 << 20
+
+
+def content_key(namespace: str, version: Union[int, str],
+                params: Mapping, *,
+                path: Optional[PathLike] = None,
+                data: Optional[bytes] = None) -> str:
+    """Sha256 key of one *(input bytes, analysis parameters)* pair.
+
+    ``namespace`` isolates unrelated caches (two subsystems can share a
+    directory without colliding) and ``version`` is the caller's cache
+    format number — bump it when the payload schema or the analysis
+    semantics change and stale entries are never served.  The package
+    version is mixed in as well, so upgrading the library invalidates
+    every cache.
+
+    ``params`` must be JSON-serializable; it is canonicalized with
+    sorted keys, so two equal mappings always produce the same key.
+    The input bytes come from ``path`` (read in bounded chunks) or
+    ``data`` (already in memory); both spellings of the same bytes
+    yield the same key.  Omitting both keys only the parameters.
+    """
+    if path is not None and data is not None:
+        raise ValueError("pass either path or data, not both")
+    digest = hashlib.sha256()
+    digest.update(f"{namespace}:{version}:{__version__}".encode())
+    digest.update(json.dumps(dict(params), sort_keys=True).encode())
+    if path is not None:
+        with open(path, "rb") as stream:
+            for chunk in iter(lambda: stream.read(_HASH_CHUNK), b""):
+                digest.update(chunk)
+    elif data is not None:
+        digest.update(data)
+    return digest.hexdigest()
+
+
+class ReportCache:
+    """A directory of content-keyed text entries.
+
+    Entries are opaque text payloads (JSON, rendered reports, ...)
+    stored as ``<key><suffix>``.  Writes are atomic — a unique
+    temporary file in the same directory is renamed over the entry —
+    so a reader never sees a half-written payload and concurrent
+    writers of the same key are safe (last writer wins with identical
+    content, since the key is a content hash).  The ``hits`` /
+    ``misses`` counters feed the daemon's ``/metrics`` endpoint; they
+    are updated under a lock so threaded servers stay consistent.
+    """
+
+    def __init__(self, directory: PathLike, suffix: str = ".json") -> None:
+        self.directory = Path(directory)
+        self.suffix = suffix
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+
+    def path(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.directory / f"{key}{self.suffix}"
+
+    def get(self, key: str) -> Optional[str]:
+        """The cached payload, or ``None`` on a miss.
+
+        Any read failure (missing directory, missing entry, permission
+        trouble, undecodable bytes) is a miss: the cache recomputes,
+        it never aborts the caller.
+        """
+        try:
+            text = self.path(key).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return text
+
+    def put(self, key: str, text: str) -> Path:
+        """Store ``text`` under ``key`` atomically; returns the entry path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = self.path(key)
+        handle, scratch = tempfile.mkstemp(
+            dir=self.directory, prefix=".put-", suffix=self.suffix)
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(text)
+            os.replace(scratch, entry)
+        except BaseException:
+            try:
+                os.unlink(scratch)
+            except OSError:
+                pass
+            raise
+        return entry
+
+    def keys(self) -> Iterator[str]:
+        """Keys of every stored entry (unordered)."""
+        if not self.directory.is_dir():
+            return
+        for entry in self.directory.iterdir():
+            if entry.name.endswith(self.suffix) \
+                    and not entry.name.startswith("."):
+                yield entry.name[:-len(self.suffix)] if self.suffix \
+                    else entry.name
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).is_file()
+
+    def stats(self) -> dict:
+        """Hit/miss counters plus the current entry count."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        return {"hits": hits, "misses": misses, "entries": len(self)}

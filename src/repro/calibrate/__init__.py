@@ -10,7 +10,7 @@ from . import paper_data
 from .directions import (direction_from_shape, shares, spotlight,
                          times_from_shares)
 from .reconstruct import (DESIGNATED_PROCESSOR, CalibrationReport,
-                          reconstruct, verify)
+                          reconstruct, synthesize_paper_trace, verify)
 
 __all__ = [
     "paper_data",
@@ -21,5 +21,6 @@ __all__ = [
     "DESIGNATED_PROCESSOR",
     "CalibrationReport",
     "reconstruct",
+    "synthesize_paper_trace",
     "verify",
 ]

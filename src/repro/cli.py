@@ -23,6 +23,13 @@ stack.  Subcommands:
   forecasts; ``--sweep DIR`` fans the analysis out over every trace in
   a directory (multiprocessing, on-disk content-keyed cache);
   ``--stream`` windows a single trace in two bounded-memory passes.
+* ``repro serve``               — run the analysis service daemon: HTTP
+  trace ingestion into a content-addressed store, a bounded worker
+  pool over the shared report cache, ``/metrics`` + ``/healthz``
+  observability, graceful job-draining shutdown.
+* ``repro submit TRACEFILE``    — upload a trace to a running daemon.
+* ``repro fetch TRACE``         — fetch a report from a running daemon
+  (byte-identical to the corresponding local command's output).
 
 Trace files may be JSONL (optionally gzipped) or the compact binary
 format (``.rptb``); the readers sniff the format.  Damaged trace files
@@ -48,6 +55,11 @@ from typing import List, Optional
 from . import __version__
 from .core import analyze, render_full_report
 from .errors import ReproError
+
+#: Default daemon address shared by the submit/fetch verbs (kept in
+#: sync with :data:`repro.serve.client.DEFAULT_URL`, which the CLI must
+#: not import at parse time — subcommand parsing stays lightweight).
+_DEFAULT_SERVE_URL = "http://127.0.0.1:8765"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -204,6 +216,63 @@ def _build_parser() -> argparse.ArgumentParser:
                               metavar="N",
                               help="events per streamed chunk "
                                    "(default: 8192)")
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run the analysis service daemon: HTTP trace "
+                      "ingestion, cached report serving, /metrics")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default: 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=8765,
+                           help="bind port; 0 picks a free one "
+                                "(default: 8765)")
+    serve_cmd.add_argument("--store", default=".repro-serve",
+                           metavar="DIR",
+                           help="trace store + report cache directory "
+                                "(default: .repro-serve)")
+    serve_cmd.add_argument("--cache-dir", metavar="DIR",
+                           help="report cache directory (default: "
+                                "report-cache under --store)")
+    serve_cmd.add_argument("--workers", type=int, default=4,
+                           help="analysis worker threads (default: 4)")
+    serve_cmd.add_argument("--ready-file", metavar="PATH",
+                           help="write 'HOST PORT' here once serving "
+                                "(for scripts and CI)")
+    serve_cmd.add_argument("--verbose", action="store_true",
+                           help="log every request to stderr")
+
+    submit_cmd = commands.add_parser(
+        "submit", help="upload a trace to a running analysis daemon")
+    submit_cmd.add_argument("tracefile", help="trace to upload "
+                                              "(.jsonl, .jsonl.gz or "
+                                              ".rptb)")
+    submit_cmd.add_argument("--url", default=_DEFAULT_SERVE_URL,
+                            help=f"daemon base URL (default: "
+                                 f"{_DEFAULT_SERVE_URL})")
+    submit_cmd.add_argument("--name", help="display name to store with "
+                                           "the trace (default: the "
+                                           "file name)")
+
+    fetch_cmd = commands.add_parser(
+        "fetch", help="fetch a report from a running analysis daemon")
+    fetch_cmd.add_argument("trace",
+                           help="trace file (submitted first if needed) "
+                                "or the sha256 digest of a stored trace")
+    fetch_cmd.add_argument("--url", default=_DEFAULT_SERVE_URL,
+                           help=f"daemon base URL (default: "
+                                f"{_DEFAULT_SERVE_URL})")
+    fetch_cmd.add_argument("--kind", default="analyze",
+                           choices=("analyze", "diagnose", "whatif",
+                                    "temporal"),
+                           help="report kind (default: analyze)")
+    fetch_cmd.add_argument("--index", default="euclidean",
+                           help="index of dispersion (default: "
+                                "euclidean)")
+    fetch_cmd.add_argument("--windows", type=int, default=16,
+                           help="window count for --kind temporal "
+                                "(default: 16)")
+    fetch_cmd.add_argument("--json", action="store_true",
+                           help="print the structured JSON report "
+                                "instead of the rendered text")
     return parser
 
 
@@ -234,8 +303,69 @@ def _streamed_measurements(arguments, on_error: str):
     return accumulator.finalize()
 
 
-def _command_analyze(arguments) -> int:
+def render_analyze_report(measurements, *, index: str = "euclidean",
+                          patterns: bool = False,
+                          lorenz: Optional[str] = None,
+                          diagnose: bool = False,
+                          heatmap: bool = False, whatif: bool = False,
+                          significance: Optional[float] = None,
+                          tracer=None, timeline: bool = False,
+                          export_chrome: Optional[str] = None,
+                          session=None) -> str:
+    """The exact text ``repro analyze`` prints for this flag set.
+
+    Shared between the CLI command and the analysis service daemon
+    (:mod:`repro.serve`), so a report fetched over HTTP is
+    byte-identical to the corresponding command's output by
+    construction.  ``tracer`` is only needed for the flags that require
+    the full event list (``timeline``, ``export_chrome``).  Passing an
+    existing :class:`~repro.core.AnalysisSession` reuses its cached
+    matrices; by default a fresh one backs every section.
+    """
     from .core import AnalysisSession
+    if session is None:
+        session = AnalysisSession(measurements)
+    analysis = session.analyze(index=index)
+    sections = [session.report(index=index)]
+    if patterns:
+        from .viz import render_pattern_grid
+        sections.extend(render_pattern_grid(grid)
+                        for grid in analysis.patterns)
+    if lorenz:
+        from .viz.lorenz import render_region_lorenz
+        sections.append(render_region_lorenz(measurements, lorenz))
+    if diagnose:
+        from .core import render_diagnosis
+        sections.append(render_diagnosis(session.diagnosis(index=index)))
+    if timeline:
+        from .viz import render_timeline
+        sections.append(render_timeline(tracer))
+    if export_chrome:
+        from .instrument import export_chrome_trace
+        count = export_chrome_trace(export_chrome, tracer)
+        sections.append(f"exported {count} events to {export_chrome}")
+    if heatmap:
+        from .viz import render_heatmap
+        sections.append(render_heatmap(measurements))
+    if whatif:
+        from .core import balance_predictions, render_predictions
+        sections.append(render_predictions(
+            balance_predictions(measurements)))
+    if significance is not None:
+        from .core import noise_quantile
+        threshold = noise_quantile(measurements.n_processors,
+                                   epsilon=significance)
+        import numpy as np
+        significant = int((np.nan_to_num(analysis.activity_view.dispersion)
+                           > threshold).sum())
+        sections.append(
+            f"noise-calibrated threshold (eps="
+            f"{significance:g}, q=0.95): {threshold:.5f}; "
+            f"{significant} (region, activity) pairs exceed it")
+    return "\n\n".join(sections)
+
+
+def _command_analyze(arguments) -> int:
     on_error = "raise" if arguments.strict else "salvage"
     if arguments.stream:
         for flag in ("timeline", "export_chrome"):
@@ -249,56 +379,21 @@ def _command_analyze(arguments) -> int:
         from .instrument import read_any_tracer, profile
         tracer = read_any_tracer(arguments.tracefile, on_error=on_error)
         measurements = profile(tracer)
+    preamble = []
     if arguments.drop_missing_ranks:
         missing = measurements.missing_processors()
         if missing:
-            print("dropping rank(s) with no recorded events: "
-                  + ", ".join(str(p) for p in missing) + "\n")
+            preamble.append("dropping rank(s) with no recorded events: "
+                            + ", ".join(str(p) for p in missing))
             measurements = measurements.without_missing_processors()
-    # One session backs every flag below: the report, the diagnosis and
-    # the significance scan all reuse the same cached matrices.
-    session = AnalysisSession(measurements)
-    analysis = session.analyze(index=arguments.index)
-    print(session.report(index=arguments.index))
-    if arguments.patterns:
-        from .viz import render_pattern_grid
-        for grid in analysis.patterns:
-            print()
-            print(render_pattern_grid(grid))
-    if arguments.lorenz:
-        from .viz.lorenz import render_region_lorenz
-        print()
-        print(render_region_lorenz(measurements, arguments.lorenz))
-    if arguments.diagnose:
-        from .core import render_diagnosis
-        print()
-        print(render_diagnosis(session.diagnosis(index=arguments.index)))
-    if arguments.timeline:
-        from .viz import render_timeline
-        print()
-        print(render_timeline(tracer))
-    if arguments.export_chrome:
-        from .instrument import export_chrome_trace
-        count = export_chrome_trace(arguments.export_chrome, tracer)
-        print(f"\nexported {count} events to {arguments.export_chrome}")
-    if arguments.heatmap:
-        from .viz import render_heatmap
-        print()
-        print(render_heatmap(measurements))
-    if arguments.whatif:
-        from .core import balance_predictions, render_predictions
-        print()
-        print(render_predictions(balance_predictions(measurements)))
-    if arguments.significance is not None:
-        from .core import noise_quantile
-        threshold = noise_quantile(measurements.n_processors,
-                                   epsilon=arguments.significance)
-        import numpy as np
-        significant = int((np.nan_to_num(analysis.activity_view.dispersion)
-                           > threshold).sum())
-        print(f"\nnoise-calibrated threshold (eps="
-              f"{arguments.significance:g}, q=0.95): {threshold:.5f}; "
-              f"{significant} (region, activity) pairs exceed it")
+    text = render_analyze_report(
+        measurements, index=arguments.index, patterns=arguments.patterns,
+        lorenz=arguments.lorenz, diagnose=arguments.diagnose,
+        heatmap=arguments.heatmap, whatif=arguments.whatif,
+        significance=arguments.significance, tracer=tracer,
+        timeline=arguments.timeline,
+        export_chrome=arguments.export_chrome)
+    print("\n\n".join(preamble + [text]))
     return 0
 
 
@@ -425,6 +520,69 @@ def _streamed_windows(arguments, on_error: str):
     return binner.finalize(), binner.n_events
 
 
+def render_temporal_report(windows, n_events: int, *,
+                           index: str = "euclidean",
+                           phases: bool = False,
+                           forecast: Optional[float] = None,
+                           heatmap: bool = False) -> str:
+    """The exact text ``repro temporal`` prints for this flag set.
+
+    Shared between the CLI command and the analysis service daemon
+    (:mod:`repro.serve`): ``windows`` is the per-window profile list
+    (from :func:`~repro.instrument.window_profiles` or the streaming
+    binner), ``n_events`` the event count the header reports.
+    """
+    from .core.temporal import temporal_analysis
+    from .viz import format_table, render_sparkline, render_temporal_heatmap
+    analysis = temporal_analysis(windows, index=index)
+    drifting = set(analysis.drifting_regions())
+
+    span = windows[-1].end - windows[0].begin
+    sections = [f"time-resolved analysis: {analysis.n_windows} windows "
+                f"over {span:.4g} s ({n_events} events, index {index})"]
+    rows = []
+    for trend in analysis.trends:
+        rows.append([
+            trend.region,
+            render_sparkline(trend.series),
+            f"{trend.slope:+.4g}",
+            f"{trend.mean:.4g}",
+            f"{trend.final:.4g}",
+            f"{trend.amplification:.4g}",
+            "DRIFTING" if trend.region in drifting else "",
+        ])
+    sections.append(format_table(
+        ["region", "per-window ID", "slope/win", "mean", "final",
+         "amplif.", "verdict"],
+        rows, title="Region imbalance over time"))
+    if analysis.activity_trends:
+        sections.append(format_table(
+            ["activity", "per-window ID", "slope/win", "mean", "final"],
+            [[trend.activity, render_sparkline(trend.series),
+              f"{trend.slope:+.4g}", f"{trend.mean:.4g}",
+              f"{trend.final:.4g}"]
+             for trend in analysis.activity_trends],
+            title="Activity imbalance over time"))
+    if phases:
+        segments = analysis.phases()
+        sections.append("\n".join(
+            [f"phases (overall imbalance level, "
+             f"{len(segments)} segment(s)):"]
+            + [f"  windows {phase.begin:>3d}..{phase.end - 1:<3d} "
+               f"level {phase.mean:.4g}" for phase in segments]))
+    if forecast is not None:
+        sections.append("\n".join(
+            [f"forecast: window at which each region reaches "
+             f"ID {forecast:g}"]
+            + [f"  {region}: {_format_level(crossing)}"
+               for region, crossing
+               in analysis.forecast(forecast).items()]))
+    if heatmap:
+        sections.append(render_temporal_heatmap(
+            {trend.region: trend.series for trend in analysis.trends}))
+    return "\n\n".join(sections)
+
+
 def _command_temporal(arguments) -> int:
     if arguments.windows < 1:
         raise ReproError("--windows must be at least 1")
@@ -448,8 +606,6 @@ def _command_temporal(arguments) -> int:
     if not arguments.tracefile:
         raise ReproError("temporal needs a trace file (or --sweep DIR)")
 
-    from .core.temporal import temporal_analysis
-    from .viz import format_table, render_sparkline, render_temporal_heatmap
     on_error = "raise" if arguments.strict else "salvage"
     if arguments.stream:
         windows, n_events = _streamed_windows(arguments, on_error)
@@ -458,54 +614,85 @@ def _command_temporal(arguments) -> int:
         tracer = read_any_tracer(arguments.tracefile, on_error=on_error)
         windows = window_profiles(tracer, arguments.windows)
         n_events = len(tracer)
-    analysis = temporal_analysis(windows, index=arguments.index)
-    drifting = set(analysis.drifting_regions())
+    print(render_temporal_report(
+        windows, n_events, index=arguments.index, phases=arguments.phases,
+        forecast=arguments.forecast, heatmap=arguments.heatmap))
+    return 0
 
-    span = windows[-1].end - windows[0].begin
-    print(f"time-resolved analysis: {analysis.n_windows} windows over "
-          f"{span:.4g} s ({n_events} events, index "
-          f"{arguments.index})\n")
-    rows = []
-    for trend in analysis.trends:
-        rows.append([
-            trend.region,
-            render_sparkline(trend.series),
-            f"{trend.slope:+.4g}",
-            f"{trend.mean:.4g}",
-            f"{trend.final:.4g}",
-            f"{trend.amplification:.4g}",
-            "DRIFTING" if trend.region in drifting else "",
-        ])
-    print(format_table(
-        ["region", "per-window ID", "slope/win", "mean", "final",
-         "amplif.", "verdict"],
-        rows, title="Region imbalance over time"))
-    if analysis.activity_trends:
-        print()
-        print(format_table(
-            ["activity", "per-window ID", "slope/win", "mean", "final"],
-            [[trend.activity, render_sparkline(trend.series),
-              f"{trend.slope:+.4g}", f"{trend.mean:.4g}",
-              f"{trend.final:.4g}"]
-             for trend in analysis.activity_trends],
-            title="Activity imbalance over time"))
-    if arguments.phases:
-        phases = analysis.phases()
-        print(f"\nphases (overall imbalance level, "
-              f"{len(phases)} segment(s)):")
-        for phase in phases:
-            print(f"  windows {phase.begin:>3d}..{phase.end - 1:<3d} "
-                  f"level {phase.mean:.4g}")
-    if arguments.forecast is not None:
-        print(f"\nforecast: window at which each region reaches "
-              f"ID {arguments.forecast:g}")
-        for region, crossing in analysis.forecast(
-                arguments.forecast).items():
-            print(f"  {region}: {_format_level(crossing)}")
-    if arguments.heatmap:
-        print()
-        print(render_temporal_heatmap(
-            {trend.region: trend.series for trend in analysis.trends}))
+
+def _command_serve(arguments) -> int:
+    import signal
+    import threading
+
+    from .serve import AnalysisServer
+    if arguments.workers < 1:
+        raise ReproError("--workers must be at least 1")
+    if not 0 <= arguments.port <= 65535:
+        raise ReproError("--port must be between 0 and 65535")
+    try:
+        daemon = AnalysisServer(
+            arguments.store, host=arguments.host, port=arguments.port,
+            workers=arguments.workers, cache_dir=arguments.cache_dir,
+            verbose=arguments.verbose)
+    except OSError as error:
+        raise ReproError(
+            f"cannot bind {arguments.host}:{arguments.port}: {error}")
+
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    daemon.start()
+    host, port = daemon.address
+    print(f"serving on http://{host}:{port} "
+          f"(store: {daemon.store.directory}, "
+          f"workers: {daemon.workers})", flush=True)
+    if arguments.ready_file:
+        Path(arguments.ready_file).write_text(f"{host} {port}\n")
+    stop.wait()
+    print(f"shutting down: draining {daemon.runner.in_flight()} "
+          "in-flight job(s)", flush=True)
+    daemon.shutdown()
+    return 0
+
+
+def _command_submit(arguments) -> int:
+    from .serve.client import ServeClient
+    meta = ServeClient(arguments.url).submit(arguments.tracefile,
+                                             name=arguments.name)
+    verb = "stored" if meta["created"] else "already stored"
+    note = " [salvaged]" if meta["salvaged"] else ""
+    print(f"{verb} {meta['sha256']} ({meta['events']} events, "
+          f"{meta['ranks']} ranks, {meta['n_bytes']} bytes){note}")
+    return 0
+
+
+def _command_fetch(arguments) -> int:
+    import json as _json
+
+    from .serve.client import ServeClient
+    if arguments.windows < 1:
+        raise ReproError("--windows must be at least 1")
+    client = ServeClient(arguments.url)
+    target = Path(arguments.trace)
+    if target.is_file():
+        sha = client.submit(target)["sha256"]
+    elif len(arguments.trace) == 64 \
+            and all(c in "0123456789abcdef" for c in arguments.trace):
+        sha = arguments.trace
+    else:
+        raise ReproError(f"{arguments.trace} is neither a readable "
+                         "trace file nor a sha256 digest")
+    params = {"index": arguments.index}
+    if arguments.kind == "temporal":
+        params["windows"] = arguments.windows
+    payload = client.report(sha, arguments.kind, **params)
+    if arguments.json:
+        print(_json.dumps(payload["report"], indent=2, sort_keys=True))
+    else:
+        # The daemon's text already ends with the newline the local
+        # command's final print() would emit — write it verbatim so
+        # `repro fetch` is byte-identical to the local command.
+        sys.stdout.write(payload["text"])
     return 0
 
 
@@ -517,6 +704,9 @@ _COMMANDS = {
     "testbed": _command_testbed,
     "faults": _command_faults,
     "temporal": _command_temporal,
+    "serve": _command_serve,
+    "submit": _command_submit,
+    "fetch": _command_fetch,
 }
 
 

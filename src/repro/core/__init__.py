@@ -43,7 +43,8 @@ from .ranking import (RankedItem, RankingResult, agreement, kendall_distance,
 from .report import (render_activity_view_table, render_breakdown_table,
                      render_dispersion_table, render_full_report,
                      render_processor_view_table,
-                     render_region_view_table, render_summary)
+                     render_region_view_table, render_summary,
+                     report_to_dict, report_to_json)
 from .efficiency import (Efficiency, ScalingPoint, efficiency,
                          render_efficiency_table, scaling_analysis)
 from .whatif import (BalancePrediction, ExcessAttribution,
@@ -89,6 +90,7 @@ __all__ = [
     "ComparisonReport", "RegionDelta", "compare", "render_comparison",
     "render_activity_view_table", "render_breakdown_table",
     "render_dispersion_table", "render_full_report",
+    "report_to_dict", "report_to_json",
     "render_processor_view_table",
     "render_region_view_table", "render_summary",
     "ActivityTrend", "Phase", "RegionTrend", "TemporalAnalysis",

@@ -1,16 +1,25 @@
-"""Text rendering of analysis results as the paper prints them.
+"""Text and JSON rendering of analysis results.
 
-The functions here turn a :class:`~repro.core.methodology.AnalysisResult`
+The text functions turn a :class:`~repro.core.methodology.AnalysisResult`
 (or its parts) into aligned plain-text tables matching the paper's
 Tables 1–4, plus a narrative summary.  Number formatting follows the
 paper: times with two decimals (more where the paper keeps three),
 indices of dispersion with five decimals, dashes for activities a region
 does not perform.
+
+:func:`report_to_dict` / :func:`report_to_json` serialize the same
+result as a structured, machine-readable document — the payload the
+analysis service daemon (:mod:`repro.serve`) returns next to the
+rendered text, so programmatic clients never have to scrape tables.
+Cells the paper prints as dashes (activities a region does not
+perform) serialize as ``null``; the JSON form is deterministic
+(sorted keys), so equal analyses produce equal bytes.
 """
 
 from __future__ import annotations
 
-from typing import List
+import json
+from typing import List, Optional
 
 import numpy as np
 
@@ -136,6 +145,106 @@ def render_summary(result: AnalysisResult) -> str:
         f"tuning candidates: " + (", ".join(result.tuning_candidates) or "none"),
     ]
     return "\n".join(lines)
+
+
+def _cell(value: float) -> Optional[float]:
+    """A matrix cell for JSON: nan (a dash in the tables) becomes None."""
+    return None if np.isnan(value) else float(value)
+
+
+def report_to_dict(result: AnalysisResult) -> dict:
+    """The full report as a JSON-serializable document.
+
+    Mirrors the five text sections of :func:`render_full_report` with
+    exact (unrounded) numbers: the Table 1 time breakdown, the Table 2
+    dispersion matrix, the Table 3/4 view summaries, the processor
+    view, and the narrative summary's facts.  Processor indices are
+    zero-based here (the text rendering prints them one-based, as the
+    paper does).
+    """
+    measurements = result.measurements
+    breakdown = result.breakdown
+    processor_summary = result.processor_view.summary()
+    own_times = measurements.processor_region_times()
+    regions = list(measurements.regions)
+    activities = list(measurements.activities)
+    return {
+        "schema": "repro-report/1",
+        "program": {
+            "total_time": float(measurements.total_time),
+            "coverage": float(measurements.coverage),
+            "n_regions": measurements.n_regions,
+            "n_activities": measurements.n_activities,
+            "n_processors": measurements.n_processors,
+            "regions": regions,
+            "activities": activities,
+        },
+        "breakdown": {
+            "region_times": {
+                region: float(measurements.region_times[i])
+                for i, region in enumerate(regions)},
+            "region_activity_times": {
+                region: {activity: float(
+                    measurements.region_activity_times[i, j])
+                    for j, activity in enumerate(activities)}
+                for i, region in enumerate(regions)},
+            "dominant_activity": breakdown.dominant_activity,
+            "heaviest_region": breakdown.heaviest_region,
+            "heaviest_region_share":
+                float(breakdown.heaviest_region_share),
+        },
+        "dispersion": {
+            region: {activity: _cell(result.activity_view.dispersion[i, j])
+                     for j, activity in enumerate(activities)}
+            for i, region in enumerate(regions)},
+        "activity_view": {
+            activity: {
+                "index": _cell(result.activity_view.index[j]),
+                "scaled_index":
+                    _cell(result.activity_view.scaled_index[j]),
+            } for j, activity in enumerate(activities)},
+        "region_view": {
+            region: {
+                "index": _cell(result.region_view.index[i]),
+                "scaled_index": _cell(result.region_view.scaled_index[i]),
+            } for i, region in enumerate(regions)},
+        "processor_view": {
+            region: {
+                "most_imbalanced":
+                    result.processor_view.most_imbalanced_processor(region),
+                "dispersion": _cell(result.processor_view.dispersion[
+                    i, result.processor_view.most_imbalanced_processor(
+                        region)]),
+                "own_time": float(own_times[
+                    i, result.processor_view.most_imbalanced_processor(
+                        region)]),
+            } for i, region in enumerate(regions)},
+        "summary": {
+            "region_clusters": [list(group)
+                                for group in result.region_clusters],
+            "most_frequently_imbalanced_processor":
+                processor_summary.most_frequent,
+            "most_frequently_imbalanced_count":
+                processor_summary.most_frequent_count,
+            "longest_imbalanced_processor": processor_summary.longest,
+            "longest_imbalanced_time":
+                float(processor_summary.longest_time),
+            "most_imbalanced_activity":
+                result.activity_view.most_imbalanced(),
+            "most_imbalanced_activity_scaled":
+                result.activity_view.most_imbalanced(scaled=True),
+            "most_imbalanced_region":
+                result.region_view.most_imbalanced(),
+            "most_imbalanced_region_scaled":
+                result.region_view.most_imbalanced(scaled=True),
+            "tuning_candidates": list(result.tuning_candidates),
+        },
+    }
+
+
+def report_to_json(result: AnalysisResult) -> str:
+    """:func:`report_to_dict`, serialized deterministically."""
+    return json.dumps(report_to_dict(result), sort_keys=True)
 
 
 def render_full_report(result: AnalysisResult) -> str:

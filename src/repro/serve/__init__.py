@@ -1,0 +1,51 @@
+"""The analysis service: a long-lived daemon in front of the library.
+
+The paper's methodology — and every subsystem grown around it — was,
+until this package, reachable only through one-shot CLI invocations
+that re-parse and re-analyze from scratch.  :mod:`repro.serve` turns
+it into a serving system:
+
+* :mod:`~repro.serve.store` — a persistent, content-addressed trace
+  store (sha256 of the trace bytes), validated at ingest by the
+  salvage-tolerant readers;
+* :mod:`~repro.serve.jobs` — a bounded worker pool running
+  ``analyze``/``temporal``/``diagnose``/``whatif`` jobs with
+  single-flight deduplication over the shared on-disk report cache
+  (:mod:`repro.cache`);
+* :mod:`~repro.serve.server` — the stdlib-only threaded HTTP daemon
+  (``repro serve``) with ``/metrics`` + ``/healthz`` observability
+  and graceful, job-draining shutdown;
+* :mod:`~repro.serve.metrics` — the counters and p50/p99 latency
+  reservoirs behind ``/metrics``;
+* :mod:`~repro.serve.client` — the thin urllib client driving
+  ``repro submit`` / ``repro fetch``.
+
+Reports served by the daemon are byte-identical to the corresponding
+CLI command's output for the same trace and parameters — both sides
+call the same renderers.
+"""
+
+from .client import DEFAULT_URL, ServeClient, submit_and_fetch
+from .jobs import (JOB_KINDS, SERVE_CACHE_FORMAT, JobRunner, build_report,
+                   normalize_params, report_key)
+from .metrics import LatencyWindow, ServiceMetrics
+from .server import AnalysisServer
+from .store import StoredTrace, TraceStore, trace_sha256
+
+__all__ = [
+    "AnalysisServer",
+    "DEFAULT_URL",
+    "JOB_KINDS",
+    "JobRunner",
+    "LatencyWindow",
+    "SERVE_CACHE_FORMAT",
+    "ServeClient",
+    "ServiceMetrics",
+    "StoredTrace",
+    "TraceStore",
+    "build_report",
+    "normalize_params",
+    "report_key",
+    "submit_and_fetch",
+    "trace_sha256",
+]

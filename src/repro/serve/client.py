@@ -1,0 +1,156 @@
+"""Thin stdlib client for the analysis service daemon.
+
+Programmatic access::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8765")
+    meta = client.submit("trace.jsonl")
+    payload = client.report(meta["sha256"], kind="analyze")
+    print(payload["text"], end="")     # byte-identical to `repro analyze`
+
+Every transport or protocol failure surfaces as
+:class:`~repro.errors.ReproError`, so CLI callers inherit the
+``exit 2`` contract for free.  The client is deliberately dependency
+free (``urllib``), mirroring the daemon's stdlib-only constraint.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import ReproError
+from .store import trace_sha256
+
+PathLike = Union[str, Path]
+
+DEFAULT_URL = "http://127.0.0.1:8765"
+
+
+class ServeClient:
+    """HTTP client for one analysis daemon."""
+
+    def __init__(self, url: str = DEFAULT_URL,
+                 timeout: float = 300.0) -> None:
+        self.url = url.rstrip("/")
+        if not self.url.startswith(("http://", "https://")):
+            raise ReproError(
+                f"service URL must be http(s), got {url!r}")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 data: Optional[bytes] = None,
+                 content_type: str = "application/json",
+                 headers: Optional[dict] = None) -> dict:
+        request = urllib.request.Request(
+            self.url + path, data=data, method=method,
+            headers={"Content-Type": content_type, **(headers or {})})
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as response:
+                body = response.read()
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ReproError(
+                f"service answered {error.code} for {method} {path}: "
+                f"{detail}") from error
+        except (urllib.error.URLError, OSError) as error:
+            reason = getattr(error, "reason", error)
+            raise ReproError(
+                f"cannot reach analysis service at {self.url}: "
+                f"{reason}") from error
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise ReproError(
+                f"service sent a non-JSON response to {method} {path}: "
+                f"{error}") from error
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def traces(self) -> list:
+        return self._request("GET", "/traces")["traces"]
+
+    def trace(self, sha: str) -> dict:
+        return self._request("GET", f"/traces/{sha}")["trace"]
+
+    def submit(self, trace: Union[PathLike, bytes],
+               name: Optional[str] = None) -> dict:
+        """Upload a trace (path or bytes); returns its stored metadata.
+
+        Content-addressed: submitting the same bytes twice is
+        idempotent (``created`` is False the second time).
+        """
+        if isinstance(trace, bytes):
+            data = trace
+            name = name or ""
+        else:
+            source = Path(trace)
+            try:
+                data = source.read_bytes()
+            except OSError as error:
+                raise ReproError(
+                    f"cannot read {source}: {error}") from error
+            name = source.name if name is None else name
+        payload = self._request(
+            "POST", "/traces", data=data,
+            content_type="application/octet-stream",
+            headers={"X-Trace-Name": name} if name else None)
+        return {**payload["trace"], "created": payload["created"]}
+
+    def report(self, sha: str, kind: str = "analyze", *,
+               wait: bool = True, timeout: Optional[float] = None,
+               **params) -> dict:
+        """The report payload for one stored trace.
+
+        ``params`` are the job parameters (``index=...``, and
+        ``windows=...`` for ``kind="temporal"``).  With ``wait`` the
+        call blocks until the report is computed (or served from
+        cache); the payload's ``text`` is byte-identical to the
+        corresponding CLI command's output.
+        """
+        body = json.dumps({
+            "trace": sha, "kind": kind, "params": params,
+            "wait": wait, "timeout": timeout,
+        }).encode("utf-8")
+        return self._request("POST", "/reports", data=body)
+
+    def fetch_text(self, sha: str, kind: str = "analyze",
+                   **params) -> str:
+        """Just the rendered report text (see :meth:`report`)."""
+        return self.report(sha, kind, **params)["text"]
+
+
+def submit_and_fetch(url: str, trace_path: PathLike,
+                     kind: str = "analyze", **params) -> dict:
+    """One-shot convenience: ensure the trace is stored, fetch its report.
+
+    Because the store is content-addressed, re-submitting is free; the
+    common scripting loop (``repro fetch TRACE``) is therefore a single
+    call that works whether or not the trace was submitted before.
+    """
+    client = ServeClient(url)
+    meta = client.submit(trace_path)
+    return client.report(meta["sha256"], kind, **params)
+
+
+__all__ = ["DEFAULT_URL", "ServeClient", "submit_and_fetch",
+           "trace_sha256"]

@@ -1,0 +1,269 @@
+"""Analysis jobs: bounded worker pool, report cache, single-flight.
+
+The daemon never runs an analysis on a request-handler thread.  Every
+report goes through :class:`JobRunner`:
+
+* the **report cache** (a shared :class:`~repro.cache.ReportCache`)
+  is consulted first — its key covers the trace's content digest, the
+  job kind, the normalized parameters and the cache format version,
+  so a daemon restart serves yesterday's reports instantly and a
+  version bump invalidates them all;
+* a miss submits the job to a **bounded** :class:`ThreadPoolExecutor`
+  with **single-flight deduplication**: concurrent requests for the
+  same key attach to the one in-flight future instead of computing
+  twice (the in-flight table and the cache probe share one lock, so
+  exactly one computation ever runs per key);
+* results are cached *before* the key leaves the in-flight table, so
+  there is no window in which a third request could recompute.
+
+Job payloads carry both the rendered text — byte-identical to the
+corresponding CLI command's stdout, because both sides call the same
+renderers in :mod:`repro.cli` — and the structured JSON document from
+:func:`repro.core.report.report_to_dict`.  A failed job produces an
+``error`` payload and is deliberately **not** cached: a transient
+failure (unreadable store, bad index name fixed by a library upgrade)
+must not be sticky.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import warnings
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, Mapping, Optional
+
+from ..cache import ReportCache, content_key
+from ..errors import ReproError, TraceWarning
+from .metrics import ServiceMetrics
+from .store import TraceStore
+
+#: Bump when the payload schema or the analysis semantics change;
+#: part of every report cache key, so stale entries are never served.
+SERVE_CACHE_FORMAT = 1
+
+#: Job kinds the daemon runs, mirroring the CLI commands they replicate.
+JOB_KINDS = ("analyze", "diagnose", "whatif", "temporal")
+
+#: Hard ceiling on requested window counts (a request must not be able
+#: to allocate unbounded memory on the server).
+MAX_WINDOWS = 4096
+
+
+def normalize_params(kind: str, params: Optional[Mapping]) -> dict:
+    """Validated, defaulted, canonically-ordered job parameters.
+
+    Raises :class:`ReproError` on an unknown kind, an unknown
+    parameter, or an out-of-range value — the daemon turns that into
+    an HTTP 400 *before* any work is queued.
+    """
+    if kind not in JOB_KINDS:
+        raise ReproError(
+            f"unknown job kind {kind!r} (one of: {', '.join(JOB_KINDS)})")
+    given = dict(params or {})
+    normalized = {"index": given.pop("index", "euclidean")}
+    if not isinstance(normalized["index"], str) or not normalized["index"]:
+        raise ReproError("index must be a non-empty string")
+    if kind == "temporal":
+        windows = given.pop("windows", 16)
+        if not isinstance(windows, int) or isinstance(windows, bool):
+            raise ReproError("windows must be an integer")
+        if not 1 <= windows <= MAX_WINDOWS:
+            raise ReproError(
+                f"windows must be between 1 and {MAX_WINDOWS}")
+        normalized["windows"] = windows
+    if given:
+        raise ReproError(
+            f"unknown parameter(s) for {kind}: "
+            + ", ".join(sorted(str(name) for name in given)))
+    return normalized
+
+
+def report_key(sha: str, kind: str, params: Mapping) -> str:
+    """Cache key of one report: trace digest + kind + parameters.
+
+    The trace's sha256 *is* a digest of its bytes, so the key changes
+    whenever the trace content, the analysis parameters, the cache
+    format or the package version change.
+    """
+    return content_key("repro-serve", SERVE_CACHE_FORMAT,
+                       {"trace": sha, "kind": kind, "params": dict(params)})
+
+
+def build_report(trace_path, sha: str, kind: str, params: Mapping) -> dict:
+    """Run one analysis job; returns the ``status: ok`` payload.
+
+    The rendered ``text`` is byte-identical to the corresponding CLI
+    command's stdout (``repro analyze TRACE [--diagnose|--whatif]`` or
+    ``repro temporal TRACE --windows W``) because it is produced by
+    the very same renderers.  Salvage warnings are silenced — ingest
+    already recorded whether the stored trace needed salvaging.
+    """
+    from ..cli import render_analyze_report, render_temporal_report
+    from ..instrument import profile, read_any_tracer, window_profiles
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", TraceWarning)
+        tracer = read_any_tracer(str(trace_path))
+    payload = {
+        "status": "ok",
+        "trace": sha,
+        "kind": kind,
+        "params": dict(params),
+    }
+    if kind == "temporal":
+        from ..core.temporal import temporal_analysis
+        windows = window_profiles(tracer, params["windows"])
+        payload["text"] = render_temporal_report(
+            windows, len(tracer), index=params["index"]) + "\n"
+        analysis = temporal_analysis(windows, index=params["index"])
+        payload["report"] = {
+            "schema": "repro-temporal/1",
+            "n_windows": analysis.n_windows,
+            "n_events": len(tracer),
+            "drifting": list(analysis.drifting_regions()),
+            "trends": {
+                trend.region: {
+                    "slope": trend.slope,
+                    "mean": trend.mean,
+                    "final": trend.final,
+                    "amplification": (
+                        None if trend.amplification == float("inf")
+                        else trend.amplification),
+                    "series": [float(value) for value in trend.series],
+                } for trend in analysis.trends},
+        }
+    else:
+        from ..core import AnalysisSession
+        from ..core.report import report_to_dict
+        measurements = profile(tracer)
+        session = AnalysisSession(measurements)
+        payload["text"] = render_analyze_report(
+            measurements, index=params["index"],
+            diagnose=(kind == "diagnose"), whatif=(kind == "whatif"),
+            session=session) + "\n"
+        payload["report"] = report_to_dict(
+            session.analyze(index=params["index"]))
+    return payload
+
+
+class JobRunner:
+    """Bounded concurrent execution of analysis jobs with caching."""
+
+    def __init__(self, store: TraceStore, cache: ReportCache,
+                 metrics: Optional[ServiceMetrics] = None,
+                 workers: int = 4) -> None:
+        self.store = store
+        self.cache = cache
+        self.metrics = metrics or ServiceMetrics()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, workers),
+            thread_name_prefix="repro-serve-job")
+        self._inflight: Dict[str, Future] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # The serving path
+    # ------------------------------------------------------------------
+    def fetch(self, sha: str, kind: str,
+              params: Optional[Mapping] = None, *, wait: bool = True,
+              timeout: Optional[float] = None) -> dict:
+        """The report payload for one (trace, kind, params) triple.
+
+        Cache hit → the stored payload (``cached: true``).  Miss → the
+        job is queued (deduplicated against identical in-flight jobs)
+        and, with ``wait``, this call blocks until the payload is
+        ready; without it a ``status: pending`` stub comes back
+        immediately and the caller polls :meth:`lookup`.
+        """
+        params = normalize_params(kind, params)
+        if sha not in self.store:
+            raise ReproError(f"unknown trace {sha!r}")
+        key = report_key(sha, kind, params)
+        start = time.perf_counter()
+        self.metrics.count("reports_requested")
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is None:
+                text = self.cache.get(key)
+                if text is not None:
+                    payload = self._decode(key, text)
+                    if payload is not None:
+                        self.metrics.count("report_cache_hits")
+                        self.metrics.observe(
+                            "report_hit", time.perf_counter() - start)
+                        return payload
+                self.metrics.count("report_cache_misses")
+                self.metrics.adjust("queue_depth", 1)
+                future = self._executor.submit(
+                    self._compute, key, sha, kind, params)
+                self._inflight[key] = future
+            else:
+                self.metrics.count("singleflight_merged")
+        if not wait:
+            return {"status": "pending", "key": key, "trace": sha,
+                    "kind": kind, "params": dict(params)}
+        payload = dict(future.result(timeout))
+        payload["cached"] = False
+        self.metrics.observe("report_miss", time.perf_counter() - start)
+        return payload
+
+    def lookup(self, key: str, *, wait: bool = False,
+               timeout: Optional[float] = None) -> Optional[dict]:
+        """A payload by cache key: cached, in-flight or ``None``."""
+        with self._lock:
+            future = self._inflight.get(key)
+        if future is not None:
+            if not wait:
+                return {"status": "pending", "key": key}
+            payload = dict(future.result(timeout))
+            payload["cached"] = False
+            return payload
+        text = self.cache.get(key)
+        if text is None:
+            return None
+        return self._decode(key, text)
+
+    def _decode(self, key: str, text: str) -> Optional[dict]:
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return None            # torn entry: treat as a miss
+        payload["cached"] = True
+        return payload
+
+    def _compute(self, key: str, sha: str, kind: str,
+                 params: Mapping) -> dict:
+        self.metrics.adjust("queue_depth", -1)
+        self.metrics.adjust("jobs_running", 1)
+        try:
+            with self.metrics.timed("job_compute"):
+                payload = build_report(
+                    self.store.path(sha), sha, kind, params)
+            payload["key"] = key
+            # Publish to the cache *before* leaving the in-flight
+            # table: every moment after submission, the key is either
+            # in flight or cached — never recomputable.
+            self.cache.put(key, json.dumps(payload, sort_keys=True))
+            self.metrics.count("jobs_computed")
+            return payload
+        except ReproError as error:
+            self.metrics.count("jobs_failed")
+            return {"status": "error", "key": key, "trace": sha,
+                    "kind": kind, "params": dict(params),
+                    "error": str(error)}
+        finally:
+            self.metrics.adjust("jobs_running", -1)
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Drain: stop accepting jobs, finish (and cache) in-flight ones."""
+        self._executor.shutdown(wait=wait)

@@ -1,0 +1,116 @@
+"""Serving observability: counters, gauges and latency quantiles.
+
+Everything the daemon's ``/metrics`` endpoint exposes funnels through
+one :class:`ServiceMetrics` instance shared by the request handlers and
+the job runner.  All updates take a single lock, so the threaded
+server's numbers are consistent; reads produce a plain-dict snapshot
+that serializes straight to JSON.
+
+Latencies are tracked per *family* (``report_hit``, ``report_miss``,
+``ingest``, ``request``) in bounded reservoirs of the most recent
+observations; p50/p99 are computed on demand with the nearest-rank
+method, so a long-running daemon reports its *current* tail, not its
+lifetime average.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from typing import Dict, Optional
+
+#: Observations kept per latency family; old ones age out so the
+#: quantiles track recent behaviour.
+RESERVOIR = 2048
+
+
+class LatencyWindow:
+    """A bounded reservoir of recent durations (seconds)."""
+
+    def __init__(self, maxlen: int = RESERVOIR) -> None:
+        self._samples: deque = deque(maxlen=maxlen)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.count += 1
+        self.total += seconds
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile of the retained samples (None if empty)."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_seconds": (self.total / self.count) if self.count else None,
+            "p50_seconds": self.quantile(0.50),
+            "p99_seconds": self.quantile(0.99),
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency reservoirs for the daemon."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Counter = Counter()
+        self._gauges: Dict[str, float] = {}
+        self._latencies: Dict[str, LatencyWindow] = {}
+        self.started = time.monotonic()
+
+    def count(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += amount
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def adjust(self, name: str, delta: float) -> None:
+        """Relative gauge update (e.g. queue depth +1 / -1)."""
+        with self._lock:
+            self._gauges[name] = self._gauges.get(name, 0) + delta
+
+    def observe(self, family: str, seconds: float) -> None:
+        with self._lock:
+            window = self._latencies.get(family)
+            if window is None:
+                window = self._latencies[family] = LatencyWindow()
+            window.observe(seconds)
+
+    def timed(self, family: str):
+        """Context manager recording one duration into ``family``."""
+        return _Timer(self, family)
+
+    def snapshot(self) -> dict:
+        """Everything, as a JSON-serializable document."""
+        with self._lock:
+            return {
+                "uptime_seconds": time.monotonic() - self.started,
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "latency": {family: window.snapshot()
+                            for family, window
+                            in sorted(self._latencies.items())},
+            }
+
+
+class _Timer:
+    def __init__(self, metrics: ServiceMetrics, family: str) -> None:
+        self._metrics = metrics
+        self._family = family
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._metrics.observe(self._family,
+                              time.perf_counter() - self._start)

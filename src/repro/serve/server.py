@@ -1,0 +1,327 @@
+"""The analysis service daemon: a stdlib-only threaded HTTP server.
+
+``repro serve`` turns the analysis library into a long-lived serving
+system: traces are submitted once into the content-addressed
+:class:`~repro.serve.store.TraceStore`, reports are computed once per
+*(trace, kind, parameters)* by the :class:`~repro.serve.jobs.JobRunner`
+and then served from the shared on-disk cache at memory speed.
+
+Endpoints (all JSON unless noted):
+
+====================  =====================================================
+``GET  /healthz``     liveness: ``{"status": "ok", ...}``
+``GET  /metrics``     counters, gauges, p50/p99 latencies
+``GET  /traces``      every stored trace's metadata
+``GET  /traces/SHA``  one stored trace's metadata
+``POST /traces``      body = raw trace bytes (JSONL, gzip or ``.rptb``);
+                      201 on first store, 200 when already stored
+``POST /reports``     body = ``{"trace": SHA, "kind": ..., "params": {},
+                      "wait": true}``; the report payload (or a
+                      ``pending`` stub with ``"wait": false``)
+``GET  /reports/KEY`` a payload by cache key (``?wait=SECONDS`` blocks)
+====================  =====================================================
+
+Graceful shutdown: SIGTERM/SIGINT stop the accept loop, the worker
+pool **drains** — every in-flight job finishes and lands in the cache
+— and only then does the process exit.  Submitted traces are never
+dropped: they were atomically published to the store before their
+submission request was even answered.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from ..cache import ReportCache
+from ..errors import ReproError, TraceError
+from .jobs import JobRunner
+from .metrics import ServiceMetrics
+from .store import TraceStore
+
+PathLike = Union[str, Path]
+
+#: Largest accepted trace upload (a submitted body must not be able to
+#: exhaust server memory).
+MAX_UPLOAD_BYTES = 1 << 28
+
+#: Default bound on one request's blocking wait for a report.
+DEFAULT_WAIT_SECONDS = 300.0
+
+
+class _HttpError(Exception):
+    """An error with a definite HTTP status, raised by route handlers."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> "AnalysisServer":
+        return self.server.service        # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.service.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.service.metrics.count(f"responses_{status // 100}xx")
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_UPLOAD_BYTES:
+            raise _HttpError(413, f"body exceeds {MAX_UPLOAD_BYTES} bytes")
+        return self.rfile.read(length) if length else b""
+
+    def _json_body(self) -> dict:
+        raw = self._read_body()
+        try:
+            payload = json.loads(raw.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, ValueError) as error:
+            raise _HttpError(400, f"request body is not JSON: {error}")
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return payload
+
+    def _route(self, method: str) -> None:
+        metrics = self.service.metrics
+        metrics.count("requests_total")
+        path, _, query = self.path.partition("?")
+        parts = [part for part in path.split("/") if part]
+        metrics.count(f"requests_{method.lower()}_"
+                      + (parts[0] if parts else "root"))
+        try:
+            with metrics.timed("request"):
+                handler = getattr(
+                    self, f"_{method.lower()}_{parts[0]}", None) \
+                    if parts else None
+                if handler is None:
+                    raise _HttpError(
+                        404, f"no such endpoint: {method} {path}")
+                handler(parts[1:], query)
+        except _HttpError as error:
+            self._send_json(error.status, {"error": str(error)})
+        except ReproError as error:
+            self._send_json(400, {"error": str(error)})
+        except Exception as error:     # noqa: BLE001 - last resort: the
+            # daemon answers 500 and keeps serving, mirroring the CLI's
+            # exit-3 contract for internal errors.
+            self._send_json(500, {"error": f"internal error: "
+                                           f"{type(error).__name__}: "
+                                           f"{error}"})
+
+    def do_GET(self) -> None:          # noqa: N802 - stdlib naming
+        self._route("GET")
+
+    def do_POST(self) -> None:         # noqa: N802 - stdlib naming
+        self._route("POST")
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def _get_healthz(self, rest, query) -> None:
+        if rest:
+            raise _HttpError(404, "no such endpoint")
+        self._send_json(200, {
+            "status": "ok",
+            "uptime_seconds":
+                self.service.metrics.snapshot()["uptime_seconds"],
+            "traces": len(self.service.store),
+        })
+
+    def _get_metrics(self, rest, query) -> None:
+        if rest:
+            raise _HttpError(404, "no such endpoint")
+        snapshot = self.service.metrics.snapshot()
+        snapshot["cache"] = self.service.cache.stats()
+        snapshot["traces"] = len(self.service.store)
+        snapshot["workers"] = self.service.workers
+        self._send_json(200, snapshot)
+
+    def _get_traces(self, rest, query) -> None:
+        if not rest:
+            self._send_json(200, {
+                "traces": [entry.to_dict()
+                           for entry in self.service.store.entries()]})
+            return
+        if len(rest) != 1:
+            raise _HttpError(404, "no such endpoint")
+        try:
+            entry = self.service.store.get(rest[0])
+        except TraceError as error:
+            raise _HttpError(404, str(error))
+        self._send_json(200, {"trace": entry.to_dict()})
+
+    def _post_traces(self, rest, query) -> None:
+        if rest:
+            raise _HttpError(404, "no such endpoint")
+        data = self._read_body()
+        name = self.headers.get("X-Trace-Name", "")
+        with self.service.metrics.timed("ingest"):
+            try:
+                entry, created = self.service.store.add_bytes(
+                    data, name=name)
+            except TraceError as error:
+                raise _HttpError(400, str(error))
+        if created:
+            self.service.metrics.count("traces_ingested")
+        self._send_json(201 if created else 200,
+                        {"trace": entry.to_dict(), "created": created})
+
+    def _post_reports(self, rest, query) -> None:
+        if rest:
+            raise _HttpError(404, "no such endpoint")
+        request = self._json_body()
+        sha = request.get("trace")
+        if not isinstance(sha, str) or not sha:
+            raise _HttpError(400, "request needs a 'trace' digest")
+        if sha not in self.service.store:
+            raise _HttpError(404, f"unknown trace {sha!r}")
+        kind = request.get("kind", "analyze")
+        params = request.get("params") or {}
+        if not isinstance(params, dict):
+            raise _HttpError(400, "'params' must be a JSON object")
+        wait = bool(request.get("wait", True))
+        timeout = request.get("timeout", DEFAULT_WAIT_SECONDS)
+        payload = self.service.runner.fetch(
+            sha, kind, params, wait=wait,
+            timeout=float(timeout) if timeout is not None else None)
+        if payload.get("status") == "error":
+            self._send_json(422, payload)
+        elif payload.get("status") == "pending":
+            self._send_json(202, payload)
+        else:
+            self._send_json(200, payload)
+
+    def _get_reports(self, rest, query) -> None:
+        if len(rest) != 1:
+            raise _HttpError(404, "no such endpoint")
+        wait = None
+        for pair in query.split("&"):
+            if pair.startswith("wait="):
+                try:
+                    wait = float(pair[len("wait="):])
+                except ValueError:
+                    raise _HttpError(400, "wait must be a number")
+        payload = self.service.runner.lookup(
+            rest[0], wait=wait is not None, timeout=wait)
+        if payload is None:
+            raise _HttpError(404, f"no report under key {rest[0]!r}")
+        if payload.get("status") == "error":
+            self._send_json(422, payload)
+        elif payload.get("status") == "pending":
+            self._send_json(202, payload)
+        else:
+            self._send_json(200, payload)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # Re-binding a just-closed port is routine in tests and CI.
+    allow_reuse_address = True
+
+    def __init__(self, address, service: "AnalysisServer") -> None:
+        self.service = service
+        super().__init__(address, _Handler)
+
+
+class AnalysisServer:
+    """The daemon: store + cache + job runner behind an HTTP front.
+
+    Usable embedded (tests, benchmarks)::
+
+        server = AnalysisServer(store_dir, port=0)
+        thread = server.start()          # background accept loop
+        ... requests against server.url ...
+        server.shutdown()                # drains in-flight jobs
+
+    or as a foreground process via ``repro serve``.
+    """
+
+    def __init__(self, store_dir: PathLike, host: str = "127.0.0.1",
+                 port: int = 0, workers: int = 4,
+                 cache_dir: Optional[PathLike] = None,
+                 verbose: bool = False) -> None:
+        self.store = TraceStore(store_dir)
+        self.cache = ReportCache(
+            Path(cache_dir) if cache_dir is not None
+            else Path(store_dir) / "report-cache")
+        self.metrics = ServiceMetrics()
+        self.workers = max(1, workers)
+        self.runner = JobRunner(self.store, self.cache,
+                                metrics=self.metrics, workers=self.workers)
+        self.verbose = verbose
+        self._httpd = _Server((host, port), self)
+        self._thread: Optional[threading.Thread] = None
+        self._serving = threading.Event()
+        self._closed = threading.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------
+    def start(self) -> threading.Thread:
+        """Run the accept loop in a background thread."""
+        if self._thread is not None:
+            raise ReproError("server already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever,
+            name="repro-serve-accept", daemon=True)
+        self._thread.start()
+        return self._thread
+
+    def serve_forever(self) -> None:
+        """Run the accept loop on the calling thread (blocks)."""
+        self._serving.set()
+        self._httpd.serve_forever()
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, drain in-flight jobs, release the socket.
+
+        Idempotent; with ``drain`` every queued or running job
+        completes (and lands in the report cache) before this returns.
+        """
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        if self._serving.is_set() or self._thread is not None:
+            self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        self.runner.shutdown(wait=drain)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "AnalysisServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,225 @@
+"""Content-addressed persistent trace store for the analysis daemon.
+
+Traces are addressed by the sha256 of their bytes: submitting the same
+trace twice stores it once, and the digest doubles as the stable handle
+clients use to request reports (and as the trace half of every report
+cache key).  Layout under the store directory::
+
+    objects/<sha256><ext>            the trace bytes, verbatim
+    objects/<sha256><ext>.meta.json  ingest-time metadata
+
+``<ext>`` is sniffed from the bytes (``.rptb`` for the binary format,
+``.jsonl.gz`` for gzip, ``.jsonl`` otherwise) so the format-sniffing
+readers in :mod:`repro.instrument` open stored objects directly.
+
+Ingestion is **validated and salvage-tolerant**, reusing the
+degradation-tolerant readers: a damaged-but-salvageable trace is
+accepted (flagged ``salvaged`` in its metadata, exactly as the CLI
+would analyze it with a warning), a totally unreadable payload is
+rejected with :class:`~repro.errors.TraceError` before anything is
+published.  Writes are crash-safe: bytes land in a temporary file that
+is atomically renamed only after validation, so a killed daemon never
+leaves a half-ingested object — this is what lets SIGTERM drain
+without dropping a submitted trace.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from ..errors import TraceError, TraceWarning
+from ..instrument.binary import MAGIC, read_any_tracer
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class StoredTrace:
+    """Ingest-time metadata of one stored trace."""
+
+    sha256: str
+    n_bytes: int
+    format: str
+    events: int
+    ranks: int
+    elapsed: float
+    regions: Tuple[str, ...]
+    name: str = ""
+    #: True when ingestion had to salvage a damaged payload.
+    salvaged: bool = False
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["regions"] = list(self.regions)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StoredTrace":
+        return cls(
+            sha256=str(payload["sha256"]),
+            n_bytes=int(payload["n_bytes"]),
+            format=str(payload["format"]),
+            events=int(payload["events"]),
+            ranks=int(payload["ranks"]),
+            elapsed=float(payload["elapsed"]),
+            regions=tuple(payload["regions"]),
+            name=str(payload.get("name", "")),
+            salvaged=bool(payload.get("salvaged", False)))
+
+
+def sniff_suffix(data: bytes) -> str:
+    """The file suffix the format sniffer expects for these bytes."""
+    if data[:4] == MAGIC:
+        return ".rptb"
+    if data[:2] == b"\x1f\x8b":
+        return ".jsonl.gz"
+    return ".jsonl"
+
+
+def trace_sha256(source: Union[PathLike, bytes]) -> str:
+    """Sha256 hex digest of a trace's bytes (path or in-memory)."""
+    if isinstance(source, bytes):
+        return hashlib.sha256(source).hexdigest()
+    digest = hashlib.sha256()
+    with open(source, "rb") as stream:
+        for chunk in iter(lambda: stream.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class TraceStore:
+    """A directory of content-addressed trace files."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self.objects = self.directory / "objects"
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _meta_path(self, sha: str, suffix: str) -> Path:
+        return self.objects / f"{sha}{suffix}.meta.json"
+
+    def _find(self, sha: str) -> Optional[Tuple[Path, Path]]:
+        """(object path, meta path) of a stored trace, or None."""
+        if not self.objects.is_dir():
+            return None
+        for suffix in (".jsonl", ".jsonl.gz", ".rptb"):
+            candidate = self.objects / f"{sha}{suffix}"
+            if candidate.is_file():
+                return candidate, self._meta_path(sha, suffix)
+        return None
+
+    def __contains__(self, sha: str) -> bool:
+        return self._find(sha) is not None
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def path(self, sha: str) -> Path:
+        """Filesystem path of a stored trace's bytes."""
+        found = self._find(sha)
+        if found is None:
+            raise TraceError(f"unknown trace {sha!r}")
+        return found[0]
+
+    def get(self, sha: str) -> StoredTrace:
+        """Metadata of one stored trace."""
+        found = self._find(sha)
+        if found is None:
+            raise TraceError(f"unknown trace {sha!r}")
+        try:
+            return StoredTrace.from_dict(
+                json.loads(found[1].read_text(encoding="utf-8")))
+        except (OSError, ValueError, KeyError) as error:
+            raise TraceError(
+                f"corrupt metadata for trace {sha!r}: {error}") from error
+
+    def entries(self) -> List[StoredTrace]:
+        """Every stored trace's metadata, sorted by digest."""
+        if not self.objects.is_dir():
+            return []
+        found = []
+        for meta in sorted(self.objects.glob("*.meta.json")):
+            try:
+                found.append(StoredTrace.from_dict(
+                    json.loads(meta.read_text(encoding="utf-8"))))
+            except (OSError, ValueError, KeyError):
+                continue       # a torn sidecar hides one entry, not all
+        return found
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def add_bytes(self, data: bytes,
+                  name: str = "") -> Tuple[StoredTrace, bool]:
+        """Validate and store a trace; returns ``(meta, created)``.
+
+        ``created`` is False when the identical bytes were already
+        stored (the existing metadata is returned untouched).  Raises
+        :class:`TraceError` when the payload is no readable trace in
+        any supported format, in which case nothing is published.
+        """
+        if not data:
+            raise TraceError("refusing to store an empty trace")
+        sha = trace_sha256(data)
+        found = self._find(sha)
+        if found is not None:
+            return self.get(sha), False
+        suffix = sniff_suffix(data)
+        self.objects.mkdir(parents=True, exist_ok=True)
+        handle, scratch = tempfile.mkstemp(
+            dir=self.objects, prefix=".ingest-", suffix=suffix)
+        scratch = Path(scratch)
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(data)
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always", TraceWarning)
+                try:
+                    tracer = read_any_tracer(scratch)
+                except (TraceError, gzip.BadGzipFile, EOFError,
+                        OSError) as error:
+                    raise TraceError(
+                        f"not a readable trace: {error}") from error
+            salvaged = any(issubclass(entry.category, TraceWarning)
+                           for entry in caught)
+            meta = StoredTrace(
+                sha256=sha, n_bytes=len(data),
+                format=suffix.lstrip("."), events=len(tracer),
+                ranks=tracer.n_ranks, elapsed=tracer.elapsed,
+                regions=tracer.regions(), name=name, salvaged=salvaged)
+            meta_path = self._meta_path(sha, suffix)
+            meta_scratch = scratch.with_name(scratch.name + ".meta")
+            meta_scratch.write_text(
+                json.dumps(meta.to_dict(), sort_keys=True),
+                encoding="utf-8")
+            # Publish the object first, its sidecar second: a reader
+            # that sees the sidecar can rely on the bytes being there.
+            os.replace(scratch, self.objects / f"{sha}{suffix}")
+            os.replace(meta_scratch, meta_path)
+        finally:
+            for leftover in (scratch,
+                             scratch.with_name(scratch.name + ".meta")):
+                if leftover.exists():
+                    leftover.unlink()
+        return meta, True
+
+    def add_file(self, path: PathLike,
+                 name: Optional[str] = None) -> Tuple[StoredTrace, bool]:
+        """Ingest a trace file (see :meth:`add_bytes`)."""
+        source = Path(path)
+        try:
+            data = source.read_bytes()
+        except OSError as error:
+            raise TraceError(f"cannot read {source}: {error}") from error
+        return self.add_bytes(
+            data, name=source.name if name is None else name)

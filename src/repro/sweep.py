@@ -21,7 +21,6 @@ Drives ``repro temporal --sweep DIR``.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from dataclasses import asdict, dataclass, field, replace
@@ -29,7 +28,7 @@ from multiprocessing import get_context
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
-from . import __version__
+from .cache import ReportCache, content_key
 from .errors import ReproError
 
 #: Bump when the summary schema or analysis semantics change; part of
@@ -124,14 +123,8 @@ def summary_from_json(text: str) -> TraceSummary:
 
 def trace_key(path: Union[str, Path], config: SweepConfig) -> str:
     """Content key of one (trace file, analysis parameters) pair."""
-    digest = hashlib.sha256()
-    digest.update(
-        f"repro-temporal-sweep:{CACHE_FORMAT}:{__version__}".encode())
-    digest.update(json.dumps(asdict(config), sort_keys=True).encode())
-    with open(path, "rb") as stream:
-        for chunk in iter(lambda: stream.read(1 << 20), b""):
-            digest.update(chunk)
-    return digest.hexdigest()
+    return content_key("repro-temporal-sweep", CACHE_FORMAT,
+                       asdict(config), path=path)
 
 
 def discover_traces(directory: Union[str, Path]) -> List[Path]:
@@ -189,25 +182,19 @@ def _worker(task) -> TraceSummary:
     return analyze_trace(path, config, key=key)
 
 
-def _cache_path(cache_dir: Path, key: str) -> Path:
-    return cache_dir / f"{key}.json"
-
-
-def _load_cached(cache_dir: Path, key: str) -> Optional[TraceSummary]:
-    entry = _cache_path(cache_dir, key)
+def _load_cached(cache: ReportCache, key: str) -> Optional[TraceSummary]:
+    text = cache.get(key)
+    if text is None:
+        return None
     try:
-        summary = summary_from_json(entry.read_text())
-    except (OSError, ValueError, KeyError):
-        return None    # missing or corrupt entry: recompute
+        summary = summary_from_json(text)
+    except (ValueError, KeyError):
+        return None    # corrupt entry: recompute
     return replace(summary, cached=True)
 
 
-def _store_cached(cache_dir: Path, summary: TraceSummary) -> None:
-    cache_dir.mkdir(parents=True, exist_ok=True)
-    entry = _cache_path(cache_dir, summary.key)
-    scratch = entry.with_suffix(".tmp")
-    scratch.write_text(summary_to_json(summary))
-    os.replace(scratch, entry)
+def _store_cached(cache: ReportCache, summary: TraceSummary) -> None:
+    cache.put(summary.key, summary_to_json(summary))
 
 
 def sweep_traces(traces: Union[str, Path, Sequence[Union[str, Path]]],
@@ -237,7 +224,8 @@ def sweep_traces(traces: Union[str, Path, Sequence[Union[str, Path]]],
     for path in paths:
         if not path.is_file():
             raise ReproError(f"trace file {path} does not exist")
-    cache = Path(cache_dir) if cache_dir is not None else default_cache
+    cache = ReportCache(cache_dir if cache_dir is not None
+                        else default_cache)
 
     keys = [trace_key(path, config) for path in paths]
     results: List[Optional[TraceSummary]] = [None] * len(paths)

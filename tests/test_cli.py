@@ -473,3 +473,67 @@ class TestTemporalStreamFlag:
         assert main(["temporal", tracefile, "--stream",
                      "--chunk-size", "-3"]) == 2
         assert "--chunk-size" in capsys.readouterr().err
+
+
+class TestServeVerbs:
+    """Upfront validation for the service verbs: expected failures exit
+    2 with a one-line error, never a bare traceback."""
+
+    def test_serve_rejects_bad_workers(self, tmp_path, capsys):
+        assert main(["serve", "--workers", "0",
+                     "--store", str(tmp_path / "s")]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_port(self, tmp_path, capsys):
+        assert main(["serve", "--port", "70000",
+                     "--store", str(tmp_path / "s")]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_submit_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["submit", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_submit_unreachable_service_exits_2(self, tracefile, capsys):
+        assert main(["submit", tracefile,
+                     "--url", "http://127.0.0.1:9"]) == 2
+        assert "cannot reach analysis service" in capsys.readouterr().err
+
+    def test_fetch_rejects_non_trace_non_sha_argument(self, tmp_path,
+                                                      capsys):
+        assert main(["fetch", "not-a-file-nor-a-sha"]) == 2
+        err = capsys.readouterr().err
+        assert "neither a readable trace file" in err
+
+    def test_fetch_rejects_bad_windows(self, tracefile, capsys):
+        assert main(["fetch", tracefile, "--kind", "temporal",
+                     "--windows", "0"]) == 2
+        assert "--windows" in capsys.readouterr().err
+
+    def test_fetch_unreachable_service_exits_2(self, tracefile, capsys):
+        assert main(["fetch", tracefile,
+                     "--url", "http://127.0.0.1:9"]) == 2
+        assert "cannot reach analysis service" in capsys.readouterr().err
+
+    def test_round_trip_through_a_live_daemon(self, tracefile, tmp_path,
+                                              capsys):
+        from repro.serve import AnalysisServer
+        with AnalysisServer(tmp_path / "store", port=0) as daemon:
+            assert main(["submit", tracefile, "--url", daemon.url]) == 0
+            out = capsys.readouterr().out
+            assert "stored" in out and "4 ranks" in out
+            assert main(["submit", tracefile, "--url", daemon.url]) == 0
+            assert "already stored" in capsys.readouterr().out
+            assert main(["analyze", tracefile]) == 0
+            expected = capsys.readouterr().out
+            assert main(["fetch", tracefile, "--url", daemon.url]) == 0
+            assert capsys.readouterr().out == expected
+
+    def test_fetch_json_payload(self, tracefile, tmp_path, capsys):
+        import json
+        from repro.serve import AnalysisServer
+        with AnalysisServer(tmp_path / "store", port=0) as daemon:
+            assert main(["fetch", tracefile, "--url", daemon.url,
+                         "--json"]) == 0
+            report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro-report/1"
+        assert report["program"]["n_processors"] == 4

