@@ -9,6 +9,11 @@ the acceptance bar — verifies the cached path sustains at least
 ``MIN_HIT_RPS`` requests per second: a hit must never pay the analysis
 pipeline, only a file read and a JSON hop.
 
+The daemon runs with its production limits engaged (``max_cache_bytes``
+/ ``max_store_bytes`` caps, bounded job queue, body limit), proving the
+hardening costs nothing on the hit path: after the run the on-disk
+store + cache size must sit under the configured caps.
+
 Metrics land in ``BENCH_serve.json`` next to the working directory.
 
 Run standalone::
@@ -43,6 +48,18 @@ FULL = (600, 8)
 QUICK = (120, 4)
 #: The acceptance floor: cached-report fetches per second.
 MIN_HIT_RPS = 100.0
+#: Production caps the benchmarked daemon runs under — generous enough
+#: for the workload, small enough that a leak would blow through them.
+CACHE_CAP_BYTES = 1 << 20
+STORE_CAP_BYTES = 1 << 20
+
+
+def directory_bytes(root: Path) -> int:
+    """Total size of every file under ``root`` (0 when absent)."""
+    if not root.is_dir():
+        return 0
+    return sum(entry.stat().st_size
+               for entry in root.rglob("*") if entry.is_file())
 
 
 def percentile(samples, q):
@@ -62,8 +79,11 @@ def run(requests: int, threads: int) -> dict:
     with tempfile.TemporaryDirectory() as directory:
         trace = Path(directory) / "paper.jsonl"
         synthesize_paper_trace(trace)
-        with AnalysisServer(Path(directory) / "store", port=0,
-                            workers=threads) as daemon:
+        store_dir = Path(directory) / "store"
+        with AnalysisServer(store_dir, port=0,
+                            workers=threads,
+                            max_cache_bytes=CACHE_CAP_BYTES,
+                            max_store_bytes=STORE_CAP_BYTES) as daemon:
             clients = [ServeClient(daemon.url) for _ in range(threads)]
             sha = clients[0].submit(trace)["sha256"]
 
@@ -86,6 +106,8 @@ def run(requests: int, threads: int) -> dict:
                     latencies.append(seconds)
             elapsed = time.perf_counter() - start
             counters = clients[0].metrics()["counters"]
+            store_bytes = directory_bytes(store_dir / "objects")
+            cache_bytes = directory_bytes(store_dir / "report-cache")
     if counters["jobs_computed"] != 1:
         raise AssertionError(
             f"expected exactly one computation, saw "
@@ -102,6 +124,10 @@ def run(requests: int, threads: int) -> dict:
         "miss_over_hit_p50": miss_seconds / percentile(latencies, 50),
         "jobs_computed": counters["jobs_computed"],
         "cache_hits": counters["report_cache_hits"],
+        "store_bytes": store_bytes,
+        "store_cap_bytes": STORE_CAP_BYTES,
+        "cache_bytes": cache_bytes,
+        "cache_cap_bytes": CACHE_CAP_BYTES,
     }
 
 
@@ -118,15 +144,33 @@ def render(metrics: dict) -> str:
         f"hit throughput: {metrics['hit_requests_per_second']:7.0f} req/s "
         f"(floor {MIN_HIT_RPS:.0f}), computations: "
         f"{metrics['jobs_computed']}",
+        f"disk: store {metrics['store_bytes']} / "
+        f"{metrics['store_cap_bytes']} B, "
+        f"cache {metrics['cache_bytes']} / "
+        f"{metrics['cache_cap_bytes']} B (both capped)",
     ])
+
+
+def check_caps(metrics: dict) -> None:
+    """The bounded-storage acceptance bar: disk stays under the caps."""
+    if metrics["store_bytes"] > metrics["store_cap_bytes"]:
+        raise AssertionError(
+            f"trace store grew to {metrics['store_bytes']} bytes, over "
+            f"its {metrics['store_cap_bytes']}-byte cap")
+    if metrics["cache_bytes"] > metrics["cache_cap_bytes"]:
+        raise AssertionError(
+            f"report cache grew to {metrics['cache_bytes']} bytes, over "
+            f"its {metrics['cache_cap_bytes']}-byte cap")
 
 
 def test_serve_quick_smoke():
     """Pytest entry point: cached fetches are byte-stable, computed
-    once, and clear the throughput floor on the small workload."""
+    once, clear the throughput floor on the small workload, and stay
+    under the configured disk caps."""
     metrics = run(*QUICK)
     assert metrics["hit_requests_per_second"] >= MIN_HIT_RPS
     assert metrics["jobs_computed"] == 1
+    check_caps(metrics)
     print()
     print(render(metrics))
 
@@ -142,6 +186,7 @@ def main(argv=None) -> int:
 
     requests, threads = QUICK if arguments.quick else FULL
     metrics = run(requests, threads)
+    check_caps(metrics)
     print(render(metrics))
     Path(arguments.output).write_text(json.dumps(metrics, indent=2) + "\n")
     print(f"\nwrote {arguments.output}")

@@ -17,7 +17,14 @@ out here so every cache in the package behaves identically:
   concurrent writers and readers never observe a torn entry) and a
   tolerant reader (a missing or unreadable entry is a miss, never an
   error).  Corruption *inside* a payload is the caller's to detect —
-  the cache stores opaque text.
+  the cache stores opaque text.  With ``max_bytes`` set the cache is
+  **bounded**: every write evicts least-recently-used entries (reads
+  refresh recency) until the directory fits under the cap again, so a
+  long-lived daemon's disk footprint stays flat.
+
+:func:`iter_chunks` is the bounded-read primitive under both
+:func:`content_key` and the trace store's hash-while-ingesting path:
+any byte source is consumed in fixed-size chunks, never whole.
 
 The cache directory is created lazily on the first write, so a
 read-only consumer (``use_cache=False`` sweeps, cold daemons) never
@@ -40,6 +47,23 @@ PathLike = Union[str, Path]
 
 #: Chunk size for hashing file contents without loading them whole.
 _HASH_CHUNK = 1 << 20
+HASH_CHUNK = _HASH_CHUNK
+
+
+def iter_chunks(stream, chunk_size: int = _HASH_CHUNK) -> Iterator[bytes]:
+    """Fixed-size chunks of a binary stream until EOF.
+
+    The bounded-memory read loop shared by :func:`content_key` and the
+    trace store's streaming ingest: callers hash (or copy) each chunk
+    as it arrives instead of materializing the whole input.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    while True:
+        chunk = stream.read(chunk_size)
+        if not chunk:
+            return
+        yield chunk
 
 
 def content_key(namespace: str, version: Union[int, str],
@@ -68,7 +92,7 @@ def content_key(namespace: str, version: Union[int, str],
     digest.update(json.dumps(dict(params), sort_keys=True).encode())
     if path is not None:
         with open(path, "rb") as stream:
-            for chunk in iter(lambda: stream.read(_HASH_CHUNK), b""):
+            for chunk in iter_chunks(stream):
                 digest.update(chunk)
     elif data is not None:
         digest.update(data)
@@ -86,13 +110,25 @@ class ReportCache:
     content, since the key is a content hash).  The ``hits`` /
     ``misses`` counters feed the daemon's ``/metrics`` endpoint; they
     are updated under a lock so threaded servers stay consistent.
+
+    ``max_bytes`` caps the directory's total entry size: every
+    :meth:`put` evicts least-recently-used entries (a :meth:`get` hit
+    refreshes its entry's mtime) until the cap holds again.  The entry
+    just written is never evicted — a single oversized payload is
+    stored rather than thrashed — and a concurrent reader of an entry
+    being evicted simply scores a miss and recomputes.
     """
 
-    def __init__(self, directory: PathLike, suffix: str = ".json") -> None:
+    def __init__(self, directory: PathLike, suffix: str = ".json",
+                 max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1")
         self.directory = Path(directory)
         self.suffix = suffix
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._lock = threading.Lock()
 
     def path(self, key: str) -> Path:
@@ -106,12 +142,17 @@ class ReportCache:
         trouble, undecodable bytes) is a miss: the cache recomputes,
         it never aborts the caller.
         """
+        entry = self.path(key)
         try:
-            text = self.path(key).read_text(encoding="utf-8")
+            text = entry.read_text(encoding="utf-8")
         except (OSError, UnicodeDecodeError):
             with self._lock:
                 self.misses += 1
             return None
+        try:
+            os.utime(entry)        # refresh LRU recency on a hit
+        except OSError:
+            pass                   # evicted mid-read: still a valid hit
         with self._lock:
             self.hits += 1
         return text
@@ -132,7 +173,38 @@ class ReportCache:
             except OSError:
                 pass
             raise
+        self._evict(keep=entry)
         return entry
+
+    def _evict(self, keep: Optional[Path] = None) -> None:
+        """Drop LRU entries until the directory fits under ``max_bytes``."""
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        for candidate in self.directory.iterdir():
+            if candidate.name.startswith(".") \
+                    or not candidate.name.endswith(self.suffix):
+                continue
+            try:
+                stat = candidate.stat()
+            except OSError:
+                continue           # lost a concurrent-eviction race
+            total += stat.st_size
+            entries.append((stat.st_mtime, stat.st_size, candidate))
+        entries.sort(key=lambda item: item[:2])
+        for _, size, victim in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and victim == keep:
+                continue
+            try:
+                victim.unlink()
+            except OSError:
+                continue
+            total -= size
+            with self._lock:
+                self.evictions += 1
 
     def keys(self) -> Iterator[str]:
         """Keys of every stored entry (unordered)."""
@@ -150,8 +222,21 @@ class ReportCache:
     def __contains__(self, key: str) -> bool:
         return self.path(key).is_file()
 
+    def total_bytes(self) -> int:
+        """Total size of every stored entry, in bytes."""
+        total = 0
+        for key in self.keys():
+            try:
+                total += self.path(key).stat().st_size
+            except OSError:
+                continue
+        return total
+
     def stats(self) -> dict:
-        """Hit/miss counters plus the current entry count."""
+        """Hit/miss/eviction counters plus current size and count."""
         with self._lock:
             hits, misses = self.hits, self.misses
-        return {"hits": hits, "misses": misses, "entries": len(self)}
+            evictions = self.evictions
+        return {"hits": hits, "misses": misses, "evictions": evictions,
+                "entries": len(self), "bytes": self.total_bytes(),
+                "max_bytes": self.max_bytes}

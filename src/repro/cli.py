@@ -234,6 +234,28 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "report-cache under --store)")
     serve_cmd.add_argument("--workers", type=int, default=4,
                            help="analysis worker threads (default: 4)")
+    serve_cmd.add_argument("--max-body-bytes", type=int,
+                           default=None, metavar="N",
+                           help="largest accepted request body; bigger "
+                                "uploads get HTTP 413 (default: 256 MiB)")
+    serve_cmd.add_argument("--max-queue", type=int, default=None,
+                           metavar="N",
+                           help="jobs in flight before load is shed "
+                                "with HTTP 429 (default: 64)")
+    serve_cmd.add_argument("--max-cache-bytes", type=int, default=None,
+                           metavar="N",
+                           help="report cache size cap; exceeding it "
+                                "evicts least-recently-used reports "
+                                "(default: unbounded)")
+    serve_cmd.add_argument("--max-store-bytes", type=int, default=None,
+                           metavar="N",
+                           help="trace store size cap; exceeding it "
+                                "evicts least-recently-analyzed traces "
+                                "(default: unbounded)")
+    serve_cmd.add_argument("--request-timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="per-connection socket timeout guarding "
+                                "against slow-loris peers (default: 60)")
     serve_cmd.add_argument("--ready-file", metavar="PATH",
                            help="write 'HOST PORT' here once serving "
                                 "(for scripts and CI)")
@@ -251,6 +273,7 @@ def _build_parser() -> argparse.ArgumentParser:
     submit_cmd.add_argument("--name", help="display name to store with "
                                            "the trace (default: the "
                                            "file name)")
+    _add_retry_arguments(submit_cmd)
 
     fetch_cmd = commands.add_parser(
         "fetch", help="fetch a report from a running analysis daemon")
@@ -273,7 +296,31 @@ def _build_parser() -> argparse.ArgumentParser:
     fetch_cmd.add_argument("--json", action="store_true",
                            help="print the structured JSON report "
                                 "instead of the rendered text")
+    _add_retry_arguments(fetch_cmd)
     return parser
+
+
+def _add_retry_arguments(command) -> None:
+    """The client-resilience flags shared by ``submit`` and ``fetch``."""
+    command.add_argument("--retries", type=int, default=2,
+                         help="extra attempts after a connection "
+                              "failure, 429 or 503 (default: 2; "
+                              "0 disables retrying)")
+    command.add_argument("--retry-max-wait", type=float, default=15.0,
+                         metavar="SECONDS",
+                         help="ceiling on one retry backoff sleep, "
+                              "also caps an honored Retry-After "
+                              "(default: 15)")
+
+
+def _make_client(arguments):
+    from .serve.client import ServeClient
+    if arguments.retries < 0:
+        raise ReproError("--retries must not be negative")
+    if arguments.retry_max_wait < 0:
+        raise ReproError("--retry-max-wait must not be negative")
+    return ServeClient(arguments.url, retries=arguments.retries,
+                       retry_max_wait=arguments.retry_max_wait)
 
 
 def _check_stream_arguments(arguments) -> None:
@@ -624,16 +671,37 @@ def _command_serve(arguments) -> int:
     import signal
     import threading
 
-    from .serve import AnalysisServer
+    from .serve import (DEFAULT_MAX_BODY_BYTES, DEFAULT_MAX_QUEUE,
+                        DEFAULT_REQUEST_TIMEOUT, AnalysisServer)
     if arguments.workers < 1:
         raise ReproError("--workers must be at least 1")
     if not 0 <= arguments.port <= 65535:
         raise ReproError("--port must be between 0 and 65535")
+    for flag in ("max_body_bytes", "max_queue", "max_cache_bytes",
+                 "max_store_bytes"):
+        value = getattr(arguments, flag)
+        if value is not None and value < 1:
+            raise ReproError(
+                f"--{flag.replace('_', '-')} must be at least 1")
+    if arguments.request_timeout is not None \
+            and arguments.request_timeout <= 0:
+        raise ReproError("--request-timeout must be positive")
     try:
         daemon = AnalysisServer(
             arguments.store, host=arguments.host, port=arguments.port,
             workers=arguments.workers, cache_dir=arguments.cache_dir,
-            verbose=arguments.verbose)
+            verbose=arguments.verbose,
+            max_body_bytes=(arguments.max_body_bytes
+                            if arguments.max_body_bytes is not None
+                            else DEFAULT_MAX_BODY_BYTES),
+            max_queue=(arguments.max_queue
+                       if arguments.max_queue is not None
+                       else DEFAULT_MAX_QUEUE),
+            max_cache_bytes=arguments.max_cache_bytes,
+            max_store_bytes=arguments.max_store_bytes,
+            request_timeout=(arguments.request_timeout
+                             if arguments.request_timeout is not None
+                             else DEFAULT_REQUEST_TIMEOUT))
     except OSError as error:
         raise ReproError(
             f"cannot bind {arguments.host}:{arguments.port}: {error}")
@@ -656,9 +724,8 @@ def _command_serve(arguments) -> int:
 
 
 def _command_submit(arguments) -> int:
-    from .serve.client import ServeClient
-    meta = ServeClient(arguments.url).submit(arguments.tracefile,
-                                             name=arguments.name)
+    meta = _make_client(arguments).submit(arguments.tracefile,
+                                          name=arguments.name)
     verb = "stored" if meta["created"] else "already stored"
     note = " [salvaged]" if meta["salvaged"] else ""
     print(f"{verb} {meta['sha256']} ({meta['events']} events, "
@@ -669,10 +736,9 @@ def _command_submit(arguments) -> int:
 def _command_fetch(arguments) -> int:
     import json as _json
 
-    from .serve.client import ServeClient
     if arguments.windows < 1:
         raise ReproError("--windows must be at least 1")
-    client = ServeClient(arguments.url)
+    client = _make_client(arguments)
     target = Path(arguments.trace)
     if target.is_file():
         sha = client.submit(target)["sha256"]

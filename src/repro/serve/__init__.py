@@ -25,21 +25,35 @@ CLI command's output for the same trace and parameters — both sides
 call the same renderers.
 """
 
-from .client import DEFAULT_URL, ServeClient, submit_and_fetch
-from .jobs import (JOB_KINDS, SERVE_CACHE_FORMAT, JobRunner, build_report,
-                   normalize_params, report_key)
+from .client import (DEFAULT_RETRIES, DEFAULT_RETRY_MAX_WAIT, DEFAULT_URL,
+                     RETRY_STATUSES, ServeClient, submit_and_fetch)
+from .jobs import (DEFAULT_MAX_QUEUE, JOB_KINDS, SERVE_CACHE_FORMAT,
+                   JobRunner, QueueFullError, ServiceDrainingError,
+                   build_report, normalize_params, report_key)
 from .metrics import LatencyWindow, ServiceMetrics
-from .server import AnalysisServer
+from .server import (DEFAULT_MAX_BODY_BYTES, DEFAULT_REQUEST_TIMEOUT,
+                     DEFAULT_WAIT_SECONDS, MAX_WAIT_SECONDS,
+                     AnalysisServer)
 from .store import StoredTrace, TraceStore, trace_sha256
 
 __all__ = [
     "AnalysisServer",
+    "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_MAX_QUEUE",
+    "DEFAULT_REQUEST_TIMEOUT",
+    "DEFAULT_RETRIES",
+    "DEFAULT_RETRY_MAX_WAIT",
     "DEFAULT_URL",
+    "DEFAULT_WAIT_SECONDS",
     "JOB_KINDS",
     "JobRunner",
     "LatencyWindow",
+    "MAX_WAIT_SECONDS",
+    "QueueFullError",
+    "RETRY_STATUSES",
     "SERVE_CACHE_FORMAT",
     "ServeClient",
+    "ServiceDrainingError",
     "ServiceMetrics",
     "StoredTrace",
     "TraceStore",

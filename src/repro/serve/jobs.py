@@ -32,10 +32,11 @@ import threading
 import time
 import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from typing import Dict, Mapping, Optional
 
 from ..cache import ReportCache, content_key
-from ..errors import ReproError, TraceWarning
+from ..errors import ReproError, TraceError, TraceWarning
 from .metrics import ServiceMetrics
 from .store import TraceStore
 
@@ -49,6 +50,26 @@ JOB_KINDS = ("analyze", "diagnose", "whatif", "temporal")
 #: Hard ceiling on requested window counts (a request must not be able
 #: to allocate unbounded memory on the server).
 MAX_WINDOWS = 4096
+
+#: Default bound on jobs in flight (queued + running).  Beyond it the
+#: runner sheds load instead of queueing without limit.
+DEFAULT_MAX_QUEUE = 64
+
+
+class QueueFullError(ReproError):
+    """The bounded job queue is full; retry after ``retry_after`` seconds.
+
+    The daemon maps this to HTTP 429 with a ``Retry-After`` header —
+    overload sheds load instead of growing an unbounded backlog.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = max(1.0, float(retry_after))
+
+
+class ServiceDrainingError(ReproError):
+    """The runner is shutting down and accepts no new jobs (HTTP 503)."""
 
 
 def normalize_params(kind: str, params: Optional[Mapping]) -> dict:
@@ -152,15 +173,21 @@ class JobRunner:
 
     def __init__(self, store: TraceStore, cache: ReportCache,
                  metrics: Optional[ServiceMetrics] = None,
-                 workers: int = 4) -> None:
+                 workers: int = 4,
+                 max_queue: Optional[int] = DEFAULT_MAX_QUEUE) -> None:
+        if max_queue is not None and max_queue < 1:
+            raise ReproError("max_queue must be at least 1")
         self.store = store
         self.cache = cache
         self.metrics = metrics or ServiceMetrics()
+        self.workers = max(1, workers)
+        self.max_queue = max_queue
         self._executor = ThreadPoolExecutor(
-            max_workers=max(1, workers),
+            max_workers=self.workers,
             thread_name_prefix="repro-serve-job")
         self._inflight: Dict[str, Future] = {}
         self._lock = threading.Lock()
+        self._draining = False
 
     # ------------------------------------------------------------------
     # The serving path
@@ -173,12 +200,18 @@ class JobRunner:
         Cache hit → the stored payload (``cached: true``).  Miss → the
         job is queued (deduplicated against identical in-flight jobs)
         and, with ``wait``, this call blocks until the payload is
-        ready; without it a ``status: pending`` stub comes back
-        immediately and the caller polls :meth:`lookup`.
+        ready; without it — or when ``timeout`` elapses first — a
+        ``status: pending`` stub comes back and the caller polls
+        :meth:`lookup`.
+
+        Backpressure: a miss that would push the in-flight job count
+        past ``max_queue`` raises :class:`QueueFullError` (nothing is
+        queued), and a draining runner raises
+        :class:`ServiceDrainingError`.  Requests that hit the cache or
+        merge onto an in-flight job are never shed — shedding applies
+        only to *new* work.
         """
         params = normalize_params(kind, params)
-        if sha not in self.store:
-            raise ReproError(f"unknown trace {sha!r}")
         key = report_key(sha, kind, params)
         start = time.perf_counter()
         self.metrics.count("reports_requested")
@@ -193,20 +226,51 @@ class JobRunner:
                         self.metrics.observe(
                             "report_hit", time.perf_counter() - start)
                         return payload
+                # Only *computing* needs the trace bytes: a report
+                # cached before its trace was evicted is still served.
+                if sha not in self.store:
+                    raise TraceError(f"unknown trace {sha!r}")
+                if self._draining:
+                    raise ServiceDrainingError(
+                        "service is draining and accepts no new jobs")
+                backlog = len(self._inflight)
+                if self.max_queue is not None \
+                        and backlog >= self.max_queue:
+                    self.metrics.count("jobs_shed")
+                    raise QueueFullError(
+                        f"job queue is full ({backlog} in flight, "
+                        f"limit {self.max_queue})",
+                        retry_after=self._retry_after(backlog))
                 self.metrics.count("report_cache_misses")
                 self.metrics.adjust("queue_depth", 1)
-                future = self._executor.submit(
-                    self._compute, key, sha, kind, params)
+                try:
+                    future = self._executor.submit(
+                        self._compute, key, sha, kind, params)
+                except RuntimeError:   # raced an executor shutdown
+                    self.metrics.adjust("queue_depth", -1)
+                    raise ServiceDrainingError(
+                        "service is draining and accepts no new jobs")
                 self._inflight[key] = future
             else:
                 self.metrics.count("singleflight_merged")
         if not wait:
             return {"status": "pending", "key": key, "trace": sha,
                     "kind": kind, "params": dict(params)}
-        payload = dict(future.result(timeout))
+        try:
+            payload = dict(future.result(timeout))
+        except FutureTimeout:
+            # A bounded wait that elapses is not an error: the job
+            # stays queued and the caller polls for it by key.
+            return {"status": "pending", "key": key, "trace": sha,
+                    "kind": kind, "params": dict(params)}
         payload["cached"] = False
         self.metrics.observe("report_miss", time.perf_counter() - start)
         return payload
+
+    def _retry_after(self, backlog: int) -> float:
+        """Seconds until the backlog plausibly has room again."""
+        mean = self.metrics.mean_seconds("job_compute") or 1.0
+        return max(1.0, backlog * mean / self.workers)
 
     def lookup(self, key: str, *, wait: bool = False,
                timeout: Optional[float] = None) -> Optional[dict]:
@@ -216,7 +280,10 @@ class JobRunner:
         if future is not None:
             if not wait:
                 return {"status": "pending", "key": key}
-            payload = dict(future.result(timeout))
+            try:
+                payload = dict(future.result(timeout))
+            except FutureTimeout:
+                return {"status": "pending", "key": key}
             payload["cached"] = False
             return payload
         text = self.cache.get(key)
@@ -264,6 +331,17 @@ class JobRunner:
         with self._lock:
             return len(self._inflight)
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     def shutdown(self, wait: bool = True) -> None:
-        """Drain: stop accepting jobs, finish (and cache) in-flight ones."""
+        """Drain: stop accepting jobs, finish (and cache) in-flight ones.
+
+        From the first moment of the drain every new job is refused
+        with :class:`ServiceDrainingError` (HTTP 503); cache hits keep
+        being served until the HTTP front actually stops.
+        """
+        with self._lock:
+            self._draining = True
         self._executor.shutdown(wait=wait)

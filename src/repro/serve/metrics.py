@@ -89,6 +89,19 @@ class ServiceMetrics:
         """Context manager recording one duration into ``family``."""
         return _Timer(self, family)
 
+    def mean_seconds(self, family: str) -> Optional[float]:
+        """Lifetime mean duration of one family (None before any sample).
+
+        Cheap to read under load — no sorting — which is why the job
+        runner's ``Retry-After`` estimate is built on it rather than on
+        a quantile.
+        """
+        with self._lock:
+            window = self._latencies.get(family)
+            if window is None or not window.count:
+                return None
+            return window.total / window.count
+
     def snapshot(self) -> dict:
         """Everything, as a JSON-serializable document."""
         with self._lock:

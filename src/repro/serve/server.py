@@ -21,6 +21,22 @@ Endpoints (all JSON unless noted):
 ``GET  /reports/KEY`` a payload by cache key (``?wait=SECONDS`` blocks)
 ====================  =====================================================
 
+Production hardening (the documented status contract):
+
+* request bodies above ``max_body_bytes`` are refused with **413**
+  before a byte is read, and accepted uploads stream straight into the
+  store in bounded chunks;
+* a malformed ``Content-Length`` or an invalid ``timeout`` field is a
+  **400**, and every blocking wait is clamped to ``max_wait_seconds``;
+* when the bounded job queue is full the daemon sheds load with
+  **429** + ``Retry-After`` instead of queueing without limit, and
+  answers **503** while draining;
+* per-connection socket timeouts (**408**) stop a slow-loris peer from
+  pinning a handler thread;
+* with ``max_cache_bytes`` / ``max_store_bytes`` set, the report cache
+  and trace store evict least-recently-used entries so disk usage
+  stays under the caps.
+
 Graceful shutdown: SIGTERM/SIGINT stop the accept loop, the worker
 pool **drains** — every in-flight job finishes and lands in the cache
 — and only then does the process exit.  Submitted traces are never
@@ -31,6 +47,8 @@ submission request was even answered.
 from __future__ import annotations
 
 import json
+import math
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -38,18 +56,58 @@ from typing import Optional, Tuple, Union
 
 from ..cache import ReportCache
 from ..errors import ReproError, TraceError
-from .jobs import JobRunner
+from .jobs import (DEFAULT_MAX_QUEUE, JobRunner, QueueFullError,
+                   ServiceDrainingError)
 from .metrics import ServiceMetrics
 from .store import TraceStore
 
 PathLike = Union[str, Path]
 
-#: Largest accepted trace upload (a submitted body must not be able to
-#: exhaust server memory).
-MAX_UPLOAD_BYTES = 1 << 28
+#: Default largest accepted request body (a submitted trace must not be
+#: able to exhaust server memory); override per daemon with
+#: ``AnalysisServer(max_body_bytes=...)`` / ``repro serve
+#: --max-body-bytes``.
+DEFAULT_MAX_BODY_BYTES = 1 << 28
+#: Backwards-compatible alias for the default body cap.
+MAX_UPLOAD_BYTES = DEFAULT_MAX_BODY_BYTES
 
 #: Default bound on one request's blocking wait for a report.
 DEFAULT_WAIT_SECONDS = 300.0
+
+#: Hard server-side ceiling on any request's blocking wait: whatever a
+#: client asks for is clamped here, so no request can wedge a handler
+#: thread indefinitely.
+MAX_WAIT_SECONDS = 600.0
+
+#: Default per-connection socket timeout.  A peer that stops sending
+#: (or reading) for this long — a slow-loris — loses its connection
+#: instead of pinning a handler thread.
+DEFAULT_REQUEST_TIMEOUT = 60.0
+
+#: Chunk size for spooling request bodies to the trace store.
+_BODY_CHUNK = 1 << 20
+
+
+class _LimitedReader:
+    """A file-like capping reads from a socket stream at a byte budget.
+
+    Feeds :meth:`TraceStore.add_stream` straight from ``rfile`` so an
+    upload is hashed and spooled in bounded chunks without ever
+    materializing in handler memory.
+    """
+
+    def __init__(self, stream, remaining: int) -> None:
+        self._stream = stream
+        self._remaining = max(0, remaining)
+
+    def read(self, size: int = -1) -> bytes:
+        if self._remaining <= 0:
+            return b""
+        if size is None or size < 0:
+            size = self._remaining
+        chunk = self._stream.read(min(size, self._remaining))
+        self._remaining -= len(chunk)
+        return chunk
 
 
 class _HttpError(Exception):
@@ -71,24 +129,78 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> "AnalysisServer":
         return self.server.service        # type: ignore[attr-defined]
 
+    def setup(self) -> None:
+        # Per-connection socket timeout: every blocking read or write
+        # on this peer gives up after the budget, so a slow-loris can
+        # cost at most one timeout, never a pinned handler thread.
+        self.timeout = self.service.request_timeout
+        super().setup()
+
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         if self.service.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   headers: Optional[dict] = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        if status >= 400:
+            # The request body may be wholly or partly unread (413 is
+            # decided *before* reading); drop the connection after the
+            # answer rather than letting leftover bytes corrupt the
+            # next keep-alive request.
+            self.close_connection = True
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            if self.close_connection:
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+        except (OSError, socket.timeout):
+            # The peer is gone or too slow to take the answer; there
+            # is nobody left to report the failure to.
+            self.close_connection = True
         self.service.metrics.count(f"responses_{status // 100}xx")
 
+    def _content_length(self) -> int:
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            return 0
+        try:
+            length = int(raw)
+        except (TypeError, ValueError):
+            raise _HttpError(
+                400, f"malformed Content-Length header: {raw!r}")
+        if length < 0:
+            raise _HttpError(
+                400, f"Content-Length must not be negative: {raw!r}")
+        return length
+
+    def _body_length(self) -> int:
+        """Validated Content-Length, bounded by the ingress body cap."""
+        length = self._content_length()
+        if length > self.service.max_body_bytes:
+            raise _HttpError(
+                413, f"body of {length} bytes exceeds the "
+                     f"{self.service.max_body_bytes}-byte limit")
+        return length
+
     def _read_body(self) -> bytes:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length > MAX_UPLOAD_BYTES:
-            raise _HttpError(413, f"body exceeds {MAX_UPLOAD_BYTES} bytes")
-        return self.rfile.read(length) if length else b""
+        length = self._body_length()
+        if not length:
+            return b""
+        chunks = []
+        remaining = length
+        while remaining:
+            chunk = self.rfile.read(min(remaining, _BODY_CHUNK))
+            if not chunk:
+                break              # peer closed early; use what arrived
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
 
     def _json_body(self) -> dict:
         raw = self._read_body()
@@ -118,6 +230,22 @@ class _Handler(BaseHTTPRequestHandler):
                 handler(parts[1:], query)
         except _HttpError as error:
             self._send_json(error.status, {"error": str(error)})
+        except QueueFullError as error:
+            metrics.count("requests_shed")
+            self._send_json(
+                429, {"error": str(error),
+                      "retry_after_seconds": error.retry_after},
+                headers={"Retry-After":
+                         str(int(math.ceil(error.retry_after)))})
+        except ServiceDrainingError as error:
+            self._send_json(503, {"error": str(error)},
+                            headers={"Retry-After": "1"})
+        except socket.timeout:
+            # The peer fed (or drained) this connection too slowly;
+            # answer 408 if the socket still takes it and cut the line.
+            metrics.count("requests_timed_out")
+            self._send_json(408, {"error": "connection timed out "
+                                           "waiting for the request"})
         except ReproError as error:
             self._send_json(400, {"error": str(error)})
         except Exception as error:     # noqa: BLE001 - last resort: the
@@ -151,8 +279,18 @@ class _Handler(BaseHTTPRequestHandler):
             raise _HttpError(404, "no such endpoint")
         snapshot = self.service.metrics.snapshot()
         snapshot["cache"] = self.service.cache.stats()
+        snapshot["store"] = self.service.store.stats()
         snapshot["traces"] = len(self.service.store)
         snapshot["workers"] = self.service.workers
+        snapshot["draining"] = self.service.runner.draining
+        snapshot["limits"] = {
+            "max_body_bytes": self.service.max_body_bytes,
+            "max_queue": self.service.runner.max_queue,
+            "max_cache_bytes": self.service.cache.max_bytes,
+            "max_store_bytes": self.service.store.max_bytes,
+            "max_wait_seconds": self.service.max_wait_seconds,
+            "request_timeout_seconds": self.service.request_timeout,
+        }
         self._send_json(200, snapshot)
 
     def _get_traces(self, rest, query) -> None:
@@ -172,18 +310,44 @@ class _Handler(BaseHTTPRequestHandler):
     def _post_traces(self, rest, query) -> None:
         if rest:
             raise _HttpError(404, "no such endpoint")
-        data = self._read_body()
+        length = self._body_length()
         name = self.headers.get("X-Trace-Name", "")
         with self.service.metrics.timed("ingest"):
             try:
-                entry, created = self.service.store.add_bytes(
-                    data, name=name)
+                # Stream the upload straight off the socket into the
+                # store: hashed and spooled chunk by chunk, never
+                # materialized in handler memory.
+                entry, created = self.service.store.add_stream(
+                    _LimitedReader(self.rfile, length), name=name)
             except TraceError as error:
                 raise _HttpError(400, str(error))
         if created:
             self.service.metrics.count("traces_ingested")
         self._send_json(201 if created else 200,
                         {"trace": entry.to_dict(), "created": created})
+
+    def _wait_seconds(self, requested) -> float:
+        """Validated, server-clamped blocking wait for one request.
+
+        A request-supplied wait must be a finite-or-infinite
+        non-negative number; anything else (strings, booleans, NaN,
+        negatives) is a 400.  Whatever survives is clamped to
+        ``max_wait_seconds``, so no request wedges a handler thread.
+        """
+        if requested is None:
+            requested = min(DEFAULT_WAIT_SECONDS,
+                            self.service.max_wait_seconds)
+        if isinstance(requested, bool) \
+                or not isinstance(requested, (int, float)):
+            raise _HttpError(
+                400, f"'timeout' must be a number, got {requested!r}")
+        requested = float(requested)
+        if math.isnan(requested):
+            raise _HttpError(400, "'timeout' must not be NaN")
+        if requested < 0:
+            raise _HttpError(
+                400, f"'timeout' must not be negative: {requested!r}")
+        return min(requested, self.service.max_wait_seconds)
 
     def _post_reports(self, rest, query) -> None:
         if rest:
@@ -192,17 +356,19 @@ class _Handler(BaseHTTPRequestHandler):
         sha = request.get("trace")
         if not isinstance(sha, str) or not sha:
             raise _HttpError(400, "request needs a 'trace' digest")
-        if sha not in self.service.store:
-            raise _HttpError(404, f"unknown trace {sha!r}")
         kind = request.get("kind", "analyze")
         params = request.get("params") or {}
         if not isinstance(params, dict):
             raise _HttpError(400, "'params' must be a JSON object")
         wait = bool(request.get("wait", True))
-        timeout = request.get("timeout", DEFAULT_WAIT_SECONDS)
-        payload = self.service.runner.fetch(
-            sha, kind, params, wait=wait,
-            timeout=float(timeout) if timeout is not None else None)
+        timeout = self._wait_seconds(request.get("timeout"))
+        try:
+            payload = self.service.runner.fetch(
+                sha, kind, params, wait=wait, timeout=timeout)
+        except TraceError as error:
+            # The runner wants trace bytes it does not have — never
+            # stored, or evicted with no cached report to fall back on.
+            raise _HttpError(404, str(error))
         if payload.get("status") == "error":
             self._send_json(422, payload)
         elif payload.get("status") == "pending":
@@ -220,6 +386,7 @@ class _Handler(BaseHTTPRequestHandler):
                     wait = float(pair[len("wait="):])
                 except ValueError:
                     raise _HttpError(400, "wait must be a number")
+                wait = self._wait_seconds(wait)
         payload = self.service.runner.lookup(
             rest[0], wait=wait is not None, timeout=wait)
         if payload is None:
@@ -258,15 +425,33 @@ class AnalysisServer:
     def __init__(self, store_dir: PathLike, host: str = "127.0.0.1",
                  port: int = 0, workers: int = 4,
                  cache_dir: Optional[PathLike] = None,
-                 verbose: bool = False) -> None:
-        self.store = TraceStore(store_dir)
+                 verbose: bool = False,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+                 max_queue: Optional[int] = DEFAULT_MAX_QUEUE,
+                 max_cache_bytes: Optional[int] = None,
+                 max_store_bytes: Optional[int] = None,
+                 max_wait_seconds: float = MAX_WAIT_SECONDS,
+                 request_timeout: Optional[float] = \
+                     DEFAULT_REQUEST_TIMEOUT) -> None:
+        if max_body_bytes < 1:
+            raise ReproError("max_body_bytes must be at least 1")
+        if max_wait_seconds <= 0:
+            raise ReproError("max_wait_seconds must be positive")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ReproError("request_timeout must be positive")
+        self.store = TraceStore(store_dir, max_bytes=max_store_bytes)
         self.cache = ReportCache(
             Path(cache_dir) if cache_dir is not None
-            else Path(store_dir) / "report-cache")
+            else Path(store_dir) / "report-cache",
+            max_bytes=max_cache_bytes)
         self.metrics = ServiceMetrics()
         self.workers = max(1, workers)
+        self.max_body_bytes = max_body_bytes
+        self.max_wait_seconds = float(max_wait_seconds)
+        self.request_timeout = request_timeout
         self.runner = JobRunner(self.store, self.cache,
-                                metrics=self.metrics, workers=self.workers)
+                                metrics=self.metrics, workers=self.workers,
+                                max_queue=max_queue)
         self.verbose = verbose
         self._httpd = _Server((host, port), self)
         self._thread: Optional[threading.Thread] = None

@@ -21,20 +21,32 @@ published.  Writes are crash-safe: bytes land in a temporary file that
 is atomically renamed only after validation, so a killed daemon never
 leaves a half-ingested object — this is what lets SIGTERM drain
 without dropping a submitted trace.
+
+Ingestion is also **bounded-memory**: :meth:`TraceStore.add_stream`
+spools any byte source to disk in fixed-size chunks while hashing it
+(the same :func:`repro.cache.iter_chunks` machinery behind
+:func:`~repro.cache.content_key`), so a multi-gigabyte upload never
+materializes in RAM.  With ``max_bytes`` set the store is size-capped:
+each successful ingest evicts least-recently-analyzed traces (reads
+via :meth:`TraceStore.path` refresh recency) until the cap holds, the
+just-ingested trace always surviving.
 """
 
 from __future__ import annotations
 
 import gzip
 import hashlib
+import io
 import json
 import os
 import tempfile
+import threading
 import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import BinaryIO, List, Optional, Tuple, Union
 
+from ..cache import HASH_CHUNK, iter_chunks
 from ..errors import TraceError, TraceWarning
 from ..instrument.binary import MAGIC, read_any_tracer
 
@@ -90,7 +102,7 @@ def trace_sha256(source: Union[PathLike, bytes]) -> str:
         return hashlib.sha256(source).hexdigest()
     digest = hashlib.sha256()
     with open(source, "rb") as stream:
-        for chunk in iter(lambda: stream.read(1 << 20), b""):
+        for chunk in iter_chunks(stream):
             digest.update(chunk)
     return digest.hexdigest()
 
@@ -98,9 +110,15 @@ def trace_sha256(source: Union[PathLike, bytes]) -> str:
 class TraceStore:
     """A directory of content-addressed trace files."""
 
-    def __init__(self, directory: PathLike) -> None:
+    def __init__(self, directory: PathLike,
+                 max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1")
         self.directory = Path(directory)
         self.objects = self.directory / "objects"
+        self.max_bytes = max_bytes
+        self.evictions = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lookup
@@ -125,10 +143,20 @@ class TraceStore:
         return len(self.entries())
 
     def path(self, sha: str) -> Path:
-        """Filesystem path of a stored trace's bytes."""
+        """Filesystem path of a stored trace's bytes.
+
+        Reading a trace for analysis goes through here, so the access
+        refreshes the object's mtime — the LRU recency signal behind
+        :meth:`evict` — making "least recently used" mean "least
+        recently analyzed", not "least recently uploaded".
+        """
         found = self._find(sha)
         if found is None:
             raise TraceError(f"unknown trace {sha!r}")
+        try:
+            os.utime(found[0])
+        except OSError:
+            pass
         return found[0]
 
     def get(self, sha: str) -> StoredTrace:
@@ -159,29 +187,42 @@ class TraceStore:
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def add_bytes(self, data: bytes,
-                  name: str = "") -> Tuple[StoredTrace, bool]:
-        """Validate and store a trace; returns ``(meta, created)``.
+    def add_stream(self, stream: BinaryIO, name: str = "",
+                   chunk_size: int = HASH_CHUNK) -> Tuple[StoredTrace, bool]:
+        """Validate and store a trace from a byte stream.
 
-        ``created`` is False when the identical bytes were already
-        stored (the existing metadata is returned untouched).  Raises
-        :class:`TraceError` when the payload is no readable trace in
-        any supported format, in which case nothing is published.
+        The source is consumed in ``chunk_size`` pieces, each chunk
+        hashed and spooled to a scratch file in one pass — peak memory
+        is one chunk regardless of trace size.  Returns
+        ``(meta, created)``; ``created`` is False when the identical
+        bytes were already stored (the existing metadata is returned
+        untouched).  Raises :class:`TraceError` when the payload is no
+        readable trace in any supported format, in which case nothing
+        is published.
         """
-        if not data:
+        first = stream.read(chunk_size)
+        if not first:
             raise TraceError("refusing to store an empty trace")
-        sha = trace_sha256(data)
-        found = self._find(sha)
-        if found is not None:
-            return self.get(sha), False
-        suffix = sniff_suffix(data)
+        suffix = sniff_suffix(first)
+        digest = hashlib.sha256()
         self.objects.mkdir(parents=True, exist_ok=True)
         handle, scratch = tempfile.mkstemp(
             dir=self.objects, prefix=".ingest-", suffix=suffix)
         scratch = Path(scratch)
         try:
-            with os.fdopen(handle, "wb") as stream:
-                stream.write(data)
+            n_bytes = 0
+            with os.fdopen(handle, "wb") as spool:
+                digest.update(first)
+                spool.write(first)
+                n_bytes += len(first)
+                for chunk in iter_chunks(stream, chunk_size):
+                    digest.update(chunk)
+                    spool.write(chunk)
+                    n_bytes += len(chunk)
+            sha = digest.hexdigest()
+            found = self._find(sha)
+            if found is not None:
+                return self.get(sha), False
             with warnings.catch_warnings(record=True) as caught:
                 warnings.simplefilter("always", TraceWarning)
                 try:
@@ -193,7 +234,7 @@ class TraceStore:
             salvaged = any(issubclass(entry.category, TraceWarning)
                            for entry in caught)
             meta = StoredTrace(
-                sha256=sha, n_bytes=len(data),
+                sha256=sha, n_bytes=n_bytes,
                 format=suffix.lstrip("."), events=len(tracer),
                 ranks=tracer.n_ranks, elapsed=tracer.elapsed,
                 regions=tracer.regions(), name=name, salvaged=salvaged)
@@ -211,15 +252,96 @@ class TraceStore:
                              scratch.with_name(scratch.name + ".meta")):
                 if leftover.exists():
                     leftover.unlink()
+        self.evict(keep=sha)
         return meta, True
+
+    def add_bytes(self, data: bytes,
+                  name: str = "") -> Tuple[StoredTrace, bool]:
+        """Validate and store an in-memory trace (see :meth:`add_stream`)."""
+        return self.add_stream(io.BytesIO(data), name=name)
 
     def add_file(self, path: PathLike,
                  name: Optional[str] = None) -> Tuple[StoredTrace, bool]:
-        """Ingest a trace file (see :meth:`add_bytes`)."""
+        """Ingest a trace file in bounded chunks (see :meth:`add_stream`)."""
         source = Path(path)
         try:
-            data = source.read_bytes()
+            with open(source, "rb") as stream:
+                return self.add_stream(
+                    stream, name=source.name if name is None else name)
         except OSError as error:
             raise TraceError(f"cannot read {source}: {error}") from error
-        return self.add_bytes(
-            data, name=source.name if name is None else name)
+
+    # ------------------------------------------------------------------
+    # Bounded storage
+    # ------------------------------------------------------------------
+    def total_bytes(self) -> int:
+        """Bytes held by every published object and its sidecar."""
+        total = 0
+        for _, _, size in self._published():
+            total += size
+        return total
+
+    def _published(self) -> List[Tuple[Path, Path, int]]:
+        """(object, sidecar, combined size) of every published trace."""
+        if not self.objects.is_dir():
+            return []
+        published = []
+        for sidecar in self.objects.glob("*.meta.json"):
+            obj = sidecar.with_name(sidecar.name[:-len(".meta.json")])
+            try:
+                size = obj.stat().st_size + sidecar.stat().st_size
+            except OSError:
+                continue           # lost a concurrent-eviction race
+            published.append((obj, sidecar, size))
+        return published
+
+    def evict(self, keep: Optional[str] = None) -> int:
+        """Drop least-recently-analyzed traces until ``max_bytes`` holds.
+
+        Returns the number of traces evicted.  The trace digested
+        ``keep`` (the one an ingest just published) is never a victim,
+        so a single oversized trace is stored rather than thrashed.
+        Reports already cached for an evicted trace stay cached — only
+        re-analysis under *new* parameters needs a resubmission.
+        """
+        if self.max_bytes is None:
+            return 0
+        ranked = []
+        total = 0
+        for obj, sidecar, size in self._published():
+            try:
+                mtime = obj.stat().st_mtime
+            except OSError:
+                continue
+            total += size
+            ranked.append((mtime, size, obj, sidecar))
+        ranked.sort(key=lambda item: item[:2])
+        evicted = 0
+        for _, size, obj, sidecar in ranked:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and obj.name.startswith(keep):
+                continue
+            # Retract in reverse publish order: the sidecar disappears
+            # before the bytes, so no reader sees metadata without data.
+            for victim in (sidecar, obj):
+                try:
+                    victim.unlink()
+                except OSError:
+                    pass
+            total -= size
+            evicted += 1
+        if evicted:
+            with self._lock:
+                self.evictions += evicted
+        return evicted
+
+    def stats(self) -> dict:
+        """Entry count, on-disk size and eviction counter."""
+        with self._lock:
+            evictions = self.evictions
+        published = self._published()
+        return {"entries": len(published),
+                "bytes": sum(size for _, _, size in published),
+                "evictions": evictions,
+                "max_bytes": self.max_bytes}

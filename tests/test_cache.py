@@ -3,16 +3,20 @@
 The cache-key property the whole serving layer rests on: the key
 depends only on *(namespace, version, parameters, input bytes)* — not
 on how the bytes are fed in (file path vs in-memory, any chunking) —
-and changes whenever any ingredient changes.
+and changes whenever any ingredient changes.  With ``max_bytes`` set
+the cache must also stay under its cap by evicting least-recently-used
+entries, with reads refreshing recency.
 """
 
+import io
+import os
 import threading
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cache import ReportCache, content_key
+from repro.cache import ReportCache, content_key, iter_chunks
 
 
 class TestContentKey:
@@ -112,6 +116,79 @@ class TestReportCache:
         for thread in threads:
             thread.join()
         assert cache.get("contended") in payloads
+
+
+class TestIterChunks:
+    def test_reassembles_exactly(self):
+        payload = bytes(range(256)) * 37
+        chunks = list(iter_chunks(io.BytesIO(payload), chunk_size=100))
+        assert b"".join(chunks) == payload
+        assert all(len(chunk) <= 100 for chunk in chunks)
+        assert all(chunks)          # EOF terminates, no empty chunks
+
+    def test_empty_stream_yields_nothing(self):
+        assert list(iter_chunks(io.BytesIO(b""))) == []
+
+    def test_rejects_nonpositive_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(io.BytesIO(b"x"), chunk_size=0))
+
+
+class TestEviction:
+    """The bounded cache: LRU eviction keeps the directory under cap."""
+
+    @staticmethod
+    def _age(cache, key, mtime):
+        os.utime(cache.path(key), (mtime, mtime))
+
+    def test_oldest_entry_evicted_when_over_cap(self, tmp_path):
+        cache = ReportCache(tmp_path / "cache", max_bytes=250)
+        for stamp, key in enumerate(("old", "mid", "new")):
+            cache.put(key, "x" * 100)
+            self._age(cache, key, 1_000_000 + stamp)
+        cache.put("newest", "x" * 100)    # 400 bytes total: evict two
+        assert cache.get("old") is None
+        assert cache.get("mid") is None
+        assert cache.get("new") == "x" * 100
+        assert cache.get("newest") == "x" * 100
+        assert cache.stats()["evictions"] == 2
+        assert cache.total_bytes() <= 250
+
+    def test_read_refreshes_recency(self, tmp_path):
+        cache = ReportCache(tmp_path / "cache", max_bytes=250)
+        for stamp, key in enumerate(("a", "b")):
+            cache.put(key, "x" * 100)
+            self._age(cache, key, 1_000_000 + stamp)
+        assert cache.get("a") == "x" * 100   # now newer than "b"
+        cache.put("c", "x" * 100)
+        assert cache.get("b") is None
+        assert cache.get("a") == "x" * 100
+        assert cache.get("c") == "x" * 100
+
+    def test_just_written_entry_survives_even_oversized(self, tmp_path):
+        cache = ReportCache(tmp_path / "cache", max_bytes=10)
+        cache.put("big", "x" * 100)
+        assert cache.get("big") == "x" * 100
+        assert cache.stats()["evictions"] == 0
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ReportCache(tmp_path / "cache")
+        for index in range(20):
+            cache.put(f"key{index}", "x" * 1000)
+        assert len(cache) == 20
+        assert cache.stats()["evictions"] == 0
+        assert cache.stats()["max_bytes"] is None
+
+    def test_rejects_nonpositive_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            ReportCache(tmp_path / "cache", max_bytes=0)
+
+    def test_stats_report_size_and_cap(self, tmp_path):
+        cache = ReportCache(tmp_path / "cache", max_bytes=1 << 20)
+        cache.put("a", "x" * 123)
+        stats = cache.stats()
+        assert stats["bytes"] == 123
+        assert stats["max_bytes"] == 1 << 20
 
 
 class TestSweepRewire:

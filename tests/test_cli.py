@@ -494,7 +494,7 @@ class TestServeVerbs:
         assert "error" in capsys.readouterr().err
 
     def test_submit_unreachable_service_exits_2(self, tracefile, capsys):
-        assert main(["submit", tracefile,
+        assert main(["submit", tracefile, "--retries", "0",
                      "--url", "http://127.0.0.1:9"]) == 2
         assert "cannot reach analysis service" in capsys.readouterr().err
 
@@ -510,9 +510,48 @@ class TestServeVerbs:
         assert "--windows" in capsys.readouterr().err
 
     def test_fetch_unreachable_service_exits_2(self, tracefile, capsys):
-        assert main(["fetch", tracefile,
+        assert main(["fetch", tracefile, "--retries", "0",
                      "--url", "http://127.0.0.1:9"]) == 2
         assert "cannot reach analysis service" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--max-body-bytes", "--max-queue",
+                                      "--max-cache-bytes",
+                                      "--max-store-bytes"])
+    def test_serve_rejects_nonpositive_caps(self, tmp_path, capsys, flag):
+        assert main(["serve", flag, "0",
+                     "--store", str(tmp_path / "s")]) == 2
+        assert flag in capsys.readouterr().err
+
+    def test_serve_rejects_bad_request_timeout(self, tmp_path, capsys):
+        assert main(["serve", "--request-timeout", "0",
+                     "--store", str(tmp_path / "s")]) == 2
+        assert "--request-timeout" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("verb", ["submit", "fetch"])
+    def test_negative_retries_exit_2(self, tracefile, capsys, verb):
+        assert main([verb, tracefile, "--retries", "-1"]) == 2
+        assert "--retries" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("verb", ["submit", "fetch"])
+    def test_negative_retry_max_wait_exits_2(self, tracefile, capsys,
+                                             verb):
+        assert main([verb, tracefile, "--retry-max-wait", "-1"]) == 2
+        assert "--retry-max-wait" in capsys.readouterr().err
+
+    def test_capped_daemon_round_trip(self, tracefile, tmp_path, capsys):
+        """The production-limit flags wire through: a daemon with every
+        cap set still serves the byte-identical report."""
+        from repro.serve import AnalysisServer
+        with AnalysisServer(tmp_path / "store", port=0,
+                            max_body_bytes=1 << 20,
+                            max_queue=4,
+                            max_cache_bytes=1 << 20,
+                            max_store_bytes=1 << 20,
+                            request_timeout=30.0) as daemon:
+            assert main(["analyze", tracefile]) == 0
+            expected = capsys.readouterr().out
+            assert main(["fetch", tracefile, "--url", daemon.url]) == 0
+            assert capsys.readouterr().out == expected
 
     def test_round_trip_through_a_live_daemon(self, tracefile, tmp_path,
                                               capsys):

@@ -15,15 +15,18 @@ The load-bearing guarantees:
   submitted trace.
 """
 
+import http.client
+import http.server
 import io
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import threading
 import time
-from contextlib import redirect_stdout
+from contextlib import contextmanager, redirect_stdout
 from pathlib import Path
 
 import pytest
@@ -31,7 +34,8 @@ import pytest
 from repro.cache import ReportCache
 from repro.cli import main
 from repro.errors import ReproError, TraceError
-from repro.serve import (AnalysisServer, JobRunner, ServeClient,
+from repro.serve import (AnalysisServer, JobRunner, QueueFullError,
+                         ServeClient, ServiceDrainingError,
                          ServiceMetrics, TraceStore, normalize_params,
                          trace_sha256)
 
@@ -63,6 +67,31 @@ def cli_stdout(argv):
     with redirect_stdout(buffer):
         assert main(argv) == 0
     return buffer.getvalue()
+
+
+def raw_request(server, method, path, body=None, headers=None):
+    """One request via http.client, returning (status, headers, payload).
+
+    Unlike :class:`ServeClient` this neither retries nor raises, so
+    tests can inspect the exact status line and headers of one
+    response (429 Retry-After, 400 on malformed headers, ...).
+    """
+    host, port = server.address
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.putrequest(method, path)
+        for name, value in (headers or {}).items():
+            conn.putheader(name, value)
+        if body is not None and "Content-Length" not in (headers or {}):
+            conn.putheader("Content-Length", str(len(body)))
+        conn.endheaders()
+        if body:
+            conn.send(body)
+        response = conn.getresponse()
+        payload = json.loads(response.read().decode("utf-8"))
+        return response.status, dict(response.getheaders()), payload
+    finally:
+        conn.close()
 
 
 # ----------------------------------------------------------------------
@@ -381,3 +410,471 @@ class TestShutdown:
         store = TraceStore(tmp_path / "store")
         assert sha in store
         assert store.get(sha).events == 289
+
+
+# ----------------------------------------------------------------------
+# Ingress limits: malformed headers, body caps, bad timeouts, slow-loris
+# ----------------------------------------------------------------------
+class TestIngressLimits:
+    @pytest.mark.parametrize("bad_length", ["banana", "", "1e3", "-7"])
+    def test_malformed_content_length_is_400(self, server, client,
+                                             bad_length):
+        status, _, payload = raw_request(
+            server, "POST", "/traces",
+            headers={"Content-Length": bad_length})
+        assert status == 400
+        assert "Content-Length" in payload["error"]
+        assert client.health()["status"] == "ok"
+
+    def test_oversized_body_is_413_for_traces_and_reports(self, tmp_path):
+        with AnalysisServer(tmp_path / "store", port=0,
+                            max_body_bytes=1024) as daemon:
+            client = ServeClient(daemon.url, retries=0)
+            with pytest.raises(ReproError, match="413"):
+                client.submit(b"x" * 2048)
+            status, _, payload = raw_request(
+                daemon, "POST", "/reports",
+                headers={"Content-Length": "99999"})
+            assert status == 413
+            assert "exceeds" in payload["error"]
+            assert client.traces() == []
+            counters = client.metrics()["counters"]
+            assert counters["responses_4xx"] >= 2
+            assert counters.get("responses_5xx", 0) == 0
+
+    @pytest.mark.parametrize("timeout_json", [
+        '"soon"', "true", "-5", "NaN", "[1]",
+    ])
+    def test_bad_report_timeout_is_400(self, server, client, paper_trace,
+                                       timeout_json):
+        sha = client.submit(paper_trace)["sha256"]
+        body = ('{"trace": "%s", "kind": "analyze", '
+                '"timeout": %s}' % (sha, timeout_json)).encode()
+        status, _, payload = raw_request(server, "POST", "/reports",
+                                         body=body)
+        assert status == 400
+        assert "timeout" in payload["error"]
+        assert client.health()["status"] == "ok"
+
+    def test_huge_timeout_is_clamped_not_wedged(self, server, client,
+                                                paper_trace):
+        """1e999 parses to +inf in JSON; the server clamps it to its
+        max wait instead of blocking a handler thread forever."""
+        sha = client.submit(paper_trace)["sha256"]
+        body = ('{"trace": "%s", "kind": "analyze", '
+                '"timeout": 1e999}' % sha).encode()
+        status, _, payload = raw_request(server, "POST", "/reports",
+                                         body=body)
+        assert status == 200
+        assert payload["status"] == "ok"
+
+    @pytest.mark.parametrize("wait", ["-1", "nan"])
+    def test_bad_get_reports_wait_is_400(self, server, client, wait):
+        status, _, _ = raw_request(server, "GET",
+                                   f"/reports/{'0' * 64}?wait={wait}")
+        assert status == 400
+
+    def test_elapsed_wait_returns_pending_not_500(self, tmp_path,
+                                                  paper_trace,
+                                                  monkeypatch):
+        """A blocking wait that times out answers 202 pending — the job
+        keeps running and is fetchable by key afterwards."""
+        import repro.serve.jobs as jobs_module
+        real_build = jobs_module.build_report
+        release = threading.Event()
+
+        def slow_build(path, sha, kind, params):
+            release.wait(timeout=30)
+            return real_build(path, sha, kind, params)
+
+        monkeypatch.setattr(jobs_module, "build_report", slow_build)
+        with AnalysisServer(tmp_path / "store", port=0,
+                            workers=1) as daemon:
+            client = ServeClient(daemon.url, retries=0)
+            sha = client.submit(paper_trace)["sha256"]
+            payload = client.report(sha, "analyze", timeout=0.2)
+            assert payload["status"] == "pending"
+            release.set()
+
+    def test_slow_loris_connection_is_cut_with_408(self, tmp_path,
+                                                   paper_trace):
+        with AnalysisServer(tmp_path / "store", port=0,
+                            request_timeout=0.5) as daemon:
+            sock = socket.create_connection(daemon.address, timeout=10)
+            try:
+                sock.sendall(b"POST /traces HTTP/1.1\r\n"
+                             b"Host: localhost\r\n"
+                             b"Content-Length: 1000\r\n\r\ndribble")
+                start = time.monotonic()
+                answer = sock.recv(4096)
+                elapsed = time.monotonic() - start
+            finally:
+                sock.close()
+            assert answer.split(b"\r\n")[0] == b"HTTP/1.1 408 Request Timeout"
+            assert elapsed < 8
+            # The stalled connection cost a timeout, not a thread: the
+            # daemon still serves.
+            client = ServeClient(daemon.url, retries=0)
+            assert client.health()["status"] == "ok"
+            assert client.metrics()["counters"]["requests_timed_out"] == 1
+            assert client.submit(paper_trace)["created"]
+
+    def test_limits_are_published_in_metrics(self, client):
+        limits = client.metrics()["limits"]
+        assert limits["max_body_bytes"] == 1 << 28
+        assert limits["max_queue"] == 64
+        assert limits["max_wait_seconds"] == 600.0
+
+
+# ----------------------------------------------------------------------
+# Backpressure: bounded queue, 429 + Retry-After, 503 while draining
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_runner_sheds_when_queue_full(self, tmp_path, paper_trace,
+                                          monkeypatch):
+        import repro.serve.jobs as jobs_module
+        release = threading.Event()
+        real_build = jobs_module.build_report
+
+        def slow_build(path, sha, kind, params):
+            release.wait(timeout=30)
+            return real_build(path, sha, kind, params)
+
+        monkeypatch.setattr(jobs_module, "build_report", slow_build)
+        store = TraceStore(tmp_path / "store")
+        meta, _ = store.add_file(paper_trace)
+        metrics = ServiceMetrics()
+        runner = JobRunner(store, ReportCache(tmp_path / "cache"),
+                           metrics=metrics, workers=1, max_queue=1)
+        try:
+            pending = runner.fetch(meta.sha256, "analyze", wait=False)
+            assert pending["status"] == "pending"
+            with pytest.raises(QueueFullError) as caught:
+                runner.fetch(meta.sha256, "temporal", {"windows": 4},
+                             wait=False)
+            assert caught.value.retry_after >= 1.0
+            snapshot = metrics.snapshot()
+            assert snapshot["counters"]["jobs_shed"] == 1
+            # The shed request queued nothing: one job in flight.
+            assert runner.in_flight() == 1
+        finally:
+            release.set()
+            runner.shutdown()
+
+    def test_http_429_carries_retry_after(self, tmp_path, paper_trace,
+                                          monkeypatch):
+        import repro.serve.jobs as jobs_module
+        release = threading.Event()
+        real_build = jobs_module.build_report
+
+        def slow_build(path, sha, kind, params):
+            release.wait(timeout=30)
+            return real_build(path, sha, kind, params)
+
+        monkeypatch.setattr(jobs_module, "build_report", slow_build)
+        with AnalysisServer(tmp_path / "store", port=0, workers=1,
+                            max_queue=1) as daemon:
+            client = ServeClient(daemon.url, retries=0)
+            sha = client.submit(paper_trace)["sha256"]
+            first = client.report(sha, "analyze", wait=False)
+            assert first["status"] == "pending"
+            body = json.dumps({"trace": sha, "kind": "temporal",
+                               "params": {"windows": 4},
+                               "wait": False}).encode()
+            status, headers, payload = raw_request(
+                daemon, "POST", "/reports", body=body)
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+            assert "queue is full" in payload["error"]
+            # Shedding applies to new work only: the single-flight
+            # merge and the cache hit still answer under pressure.
+            merged = client.report(sha, "analyze", wait=False)
+            assert merged["status"] == "pending"
+            release.set()
+            deadline = time.monotonic() + 30
+            while daemon.runner.in_flight():
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            assert client.report(sha, "analyze")["status"] == "ok"
+            counters = client.metrics()["counters"]
+            assert counters["requests_shed"] == 1
+            assert counters.get("responses_5xx", 0) == 0
+
+    def test_draining_runner_answers_503(self, server, client,
+                                         paper_trace):
+        sha = client.submit(paper_trace)["sha256"]
+        cached = client.report(sha, "analyze")
+        assert cached["status"] == "ok"
+        server.runner._draining = True
+        try:
+            probe = ServeClient(server.url, retries=0)
+            with pytest.raises(ReproError, match="503"):
+                probe.report(sha, "temporal", windows=4)
+            # Cache hits keep flowing while the pool drains.
+            assert probe.report(sha, "analyze")["cached"]
+        finally:
+            server.runner._draining = False
+
+    def test_shutdown_runner_refuses_new_jobs(self, tmp_path,
+                                              paper_trace):
+        store = TraceStore(tmp_path / "store")
+        meta, _ = store.add_file(paper_trace)
+        runner = JobRunner(store, ReportCache(tmp_path / "cache"),
+                           workers=1)
+        runner.shutdown()
+        assert runner.draining
+        with pytest.raises(ServiceDrainingError):
+            runner.fetch(meta.sha256, "analyze")
+
+
+# ----------------------------------------------------------------------
+# Bounded storage: the trace store evicts LRU under a byte cap
+# ----------------------------------------------------------------------
+class TestStoreEviction:
+    @staticmethod
+    def _age(store, sha, mtime):
+        obj, _ = store._find(sha)
+        os.utime(obj, (mtime, mtime))
+
+    def test_streamed_ingest_matches_eager(self, tmp_path, paper_trace):
+        """Hash-while-reading in tiny chunks lands the same object,
+        digest and metadata as the eager in-memory path."""
+        data = Path(paper_trace).read_bytes()
+        eager = TraceStore(tmp_path / "eager")
+        chunked = TraceStore(tmp_path / "chunked")
+        meta_eager, _ = eager.add_bytes(data, name="t")
+        with open(paper_trace, "rb") as stream:
+            meta_chunked, created = chunked.add_stream(
+                stream, name="t", chunk_size=7)
+        assert created
+        assert meta_chunked == meta_eager
+        assert chunked.path(meta_chunked.sha256).read_bytes() == data
+
+    def test_add_file_streams_and_dedups(self, tmp_path, paper_trace):
+        store = TraceStore(tmp_path / "store")
+        meta, created = store.add_file(paper_trace)
+        assert created
+        again, created_again = store.add_file(paper_trace)
+        assert not created_again
+        assert again == meta
+
+    def test_lru_trace_evicted_under_cap(self, tmp_path, paper_trace):
+        store = TraceStore(tmp_path / "store")
+        data = Path(paper_trace).read_bytes()
+        shas = []
+        for index in range(3):
+            meta, _ = store.add_bytes(data + b"\n" * (index + 1),
+                                      name=f"v{index}")
+            shas.append(meta.sha256)
+            self._age(store, meta.sha256, 1_000_000 + index)
+        store.max_bytes = store.total_bytes() + 10
+        newest, _ = store.add_bytes(data + b"\n" * 16, name="v3")
+        assert shas[0] not in store
+        assert newest.sha256 in store
+        assert shas[2] in store
+        assert store.total_bytes() <= store.max_bytes
+        assert store.stats()["evictions"] >= 1
+        with pytest.raises(TraceError):
+            store.get(shas[0])
+        # The sidecar went with the bytes: no orphaned metadata.
+        leftovers = [p.name for p in (tmp_path / "store" / "objects")
+                     .iterdir() if p.name.startswith(shas[0])]
+        assert leftovers == []
+
+    def test_analysis_read_refreshes_recency(self, tmp_path, paper_trace):
+        store = TraceStore(tmp_path / "store")
+        data = Path(paper_trace).read_bytes()
+        first, _ = store.add_bytes(data + b"\n")
+        second, _ = store.add_bytes(data + b"\n\n")
+        self._age(store, first.sha256, 1_000_000)
+        self._age(store, second.sha256, 1_000_001)
+        store.path(first.sha256)       # "analyzed" now: newest
+        store.max_bytes = store.total_bytes() + 10
+        third, _ = store.add_bytes(data + b"\n\n\n")
+        assert second.sha256 not in store
+        assert first.sha256 in store
+        assert third.sha256 in store
+
+    def test_just_ingested_trace_never_evicted(self, tmp_path,
+                                               paper_trace):
+        store = TraceStore(tmp_path / "store", max_bytes=1)
+        meta, created = store.add_file(paper_trace)
+        assert created
+        assert meta.sha256 in store
+        assert store.stats()["evictions"] == 0
+
+    def test_evicted_trace_keeps_its_cached_reports(self, tmp_path,
+                                                    paper_trace):
+        """Eviction reclaims trace bytes, not served results: a report
+        cached before its trace was evicted is still a hit."""
+        with AnalysisServer(tmp_path / "store", port=0,
+                            workers=1) as daemon:
+            client = ServeClient(daemon.url, retries=0)
+            sha = client.submit(paper_trace)["sha256"]
+            text = client.fetch_text(sha)
+            daemon.store.max_bytes = 1
+            other = Path(paper_trace).read_bytes() + b"\n"
+            client.submit(other, name="other")
+            assert len(client.traces()) == 1   # first trace evicted
+            payload = client.report(sha, "analyze")
+            assert payload["cached"]
+            assert payload["text"] == text
+            # But a *new* analysis of the evicted trace needs resubmission.
+            with pytest.raises(ReproError, match="404"):
+                client.report(sha, "diagnose")
+
+
+# ----------------------------------------------------------------------
+# Client resilience: retry with backoff on 429/503/connection errors
+# ----------------------------------------------------------------------
+class _ScriptedHandler(http.server.BaseHTTPRequestHandler):
+    """Answers from a canned (status, headers, payload) script."""
+
+    def _respond(self):
+        self.server.seen.append(f"{self.command} {self.path}")
+        status, headers, payload = (
+            self.server.script.pop(0) if self.server.script
+            else (200, {}, {"status": "ok"}))
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = _respond
+    do_POST = _respond
+
+    def log_message(self, format, *args):  # noqa: A002
+        pass
+
+
+@contextmanager
+def scripted_service(script):
+    httpd = http.server.HTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    httpd.script = list(script)
+    httpd.seen = []
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd, f"http://127.0.0.1:{httpd.server_address[1]}"
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=10)
+
+
+def patient_client(url, sleeps, retries=2, **kwargs):
+    """A ServeClient whose sleeps are recorded, not slept, and whose
+    jitter roll is pinned to the midpoint (multiplier exactly 1.0)."""
+    return ServeClient(url, retries=retries, sleep=sleeps.append,
+                       rng=lambda: 0.5, **kwargs)
+
+
+class TestClientRetry:
+    def test_retries_429_and_honors_retry_after(self):
+        script = [(429, {"Retry-After": "3"}, {"error": "full"})]
+        sleeps = []
+        with scripted_service(script) as (httpd, url):
+            health = patient_client(url, sleeps).health()
+        assert health == {"status": "ok"}
+        assert httpd.seen == ["GET /healthz"] * 2
+        assert sleeps == [3.0]     # server floor beats the 0.25s backoff
+
+    def test_retries_503_with_exponential_backoff(self):
+        script = [(503, {}, {"error": "draining"}),
+                  (503, {}, {"error": "draining"})]
+        sleeps = []
+        with scripted_service(script) as (httpd, url):
+            health = patient_client(url, sleeps).health()
+        assert health == {"status": "ok"}
+        assert len(httpd.seen) == 3
+        assert sleeps == [0.25, 0.5]   # base * 2^attempt, jitter pinned
+
+    def test_backoff_is_capped_by_retry_max_wait(self):
+        script = [(503, {}, {"error": "x"})] * 3
+        sleeps = []
+        with scripted_service(script) as (httpd, url):
+            patient_client(url, sleeps, retries=3,
+                           retry_max_wait=0.4).health()
+        assert sleeps == [0.25, 0.4, 0.4]
+
+    def test_unparseable_retry_after_falls_back_to_backoff(self):
+        script = [(429, {"Retry-After": "Fri, 31 Dec 1999 23:59:59 GMT"},
+                   {"error": "full"})]
+        sleeps = []
+        with scripted_service(script) as (_, url):
+            patient_client(url, sleeps).health()
+        assert sleeps == [0.25]
+
+    def test_exhausted_retries_surface_the_last_error(self):
+        script = [(429, {"Retry-After": "1"}, {"error": "still full"})] * 3
+        sleeps = []
+        with scripted_service(script) as (httpd, url):
+            with pytest.raises(ReproError, match="429.*still full"):
+                patient_client(url, sleeps).health()
+        assert len(httpd.seen) == 3
+        assert len(sleeps) == 2
+
+    @pytest.mark.parametrize("status", [400, 404, 413, 422])
+    def test_definite_4xx_is_never_retried(self, status):
+        script = [(status, {}, {"error": "definitely no"})]
+        sleeps = []
+        with scripted_service(script) as (httpd, url):
+            with pytest.raises(ReproError, match=str(status)):
+                patient_client(url, sleeps).health()
+        assert len(httpd.seen) == 1
+        assert sleeps == []
+
+    def test_connection_errors_are_retried(self):
+        # Grab a port that nothing listens on.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        sleeps = []
+        client = patient_client(f"http://127.0.0.1:{port}", sleeps)
+        with pytest.raises(ReproError, match="cannot reach"):
+            client.health()
+        assert sleeps == [0.25, 0.5]
+
+    def test_zero_retries_means_one_attempt(self):
+        script = [(503, {}, {"error": "draining"})]
+        sleeps = []
+        with scripted_service(script) as (httpd, url):
+            with pytest.raises(ReproError, match="503"):
+                patient_client(url, sleeps, retries=0).health()
+        assert len(httpd.seen) == 1
+        assert sleeps == []
+
+    def test_negative_retry_configuration_rejected(self):
+        with pytest.raises(ReproError, match="retries"):
+            ServeClient("http://localhost:1", retries=-1)
+        with pytest.raises(ReproError, match="waits"):
+            ServeClient("http://localhost:1", retry_max_wait=-1.0)
+
+    def test_submit_survives_a_shed_daemon(self, server, paper_trace,
+                                           monkeypatch):
+        """End to end against the real daemon: a submission answered
+        429 twice by a wrapped handler succeeds on the third try."""
+        flaky = {"remaining": 2}
+        import repro.serve.server as server_module
+        original = server_module._Handler._post_traces
+
+        def shaky(self, rest, query):
+            if flaky["remaining"] > 0:
+                flaky["remaining"] -= 1
+                raise QueueFullError("synthetic overload",
+                                     retry_after=1.0)
+            return original(self, rest, query)
+
+        monkeypatch.setattr(server_module._Handler, "_post_traces",
+                            shaky)
+        sleeps = []
+        client = patient_client(server.url, sleeps)
+        meta = client.submit(paper_trace)
+        assert meta["created"]
+        assert len(sleeps) == 2
+        assert all(wait >= 1.0 for wait in sleeps)
