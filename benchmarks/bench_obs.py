@@ -1,0 +1,226 @@
+"""The cost of self-observability on the streaming hot path.
+
+Times the bounded-memory analysis pipeline (chunked trace decode into
+an :class:`repro.core.online.OnlineAccumulator`) three ways:
+
+* **baseline** — the raw chunk reader (:func:`iter_trace`), no
+  observability code on the path at all;
+* **disabled** — the instrumented entry point (:func:`iter_any`, which
+  routes through :func:`instrument_chunks`) with span recording off:
+  the production default.  Acceptance: < 2 % over baseline — the
+  disabled path is one ``is_enabled()`` check per *iterator*, never
+  per chunk or event;
+* **enabled** — the same pipeline under ``--profile``-style recording
+  (one span per decoded chunk).  Acceptance: < 10 % over disabled.
+
+A microbenchmark of the disabled ``span()`` call site rides along
+(nanoseconds per call), and the three pipeline runs are checked to
+produce identical measurements — instrumentation must never change
+results.  Metrics land in ``BENCH_obs.json``.
+
+Run standalone::
+
+    python benchmarks/bench_obs.py            # full run, asserts floors
+    python benchmarks/bench_obs.py --quick    # CI smoke run, no floors
+
+or through pytest (``pytest benchmarks/bench_obs.py -s``), which
+executes the quick differential smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (resolves when installed or PYTHONPATH=src)
+except ImportError:                                  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.online import OnlineAccumulator
+from repro.instrument import Tracer, TraceEvent, write_tracer
+from repro.instrument.stream import iter_any, iter_trace
+from repro.obs import spans as obspans
+
+#: (events, chunk_size): many small chunks make per-chunk costs visible.
+FULL = (200_000, 512)
+QUICK = (20_000, 512)
+
+DISABLED_OVERHEAD_CEILING = 0.02
+ENABLED_OVERHEAD_CEILING = 0.10
+
+#: Spins of the disabled span() microbenchmark.
+MICRO_CALLS = 200_000
+
+
+def build_trace(path: Path, events: int) -> None:
+    """A deterministic multi-rank trace with several regions."""
+    rng = np.random.default_rng(events)
+    tracer = Tracer()
+    regions = ("loop 1", "loop 2", "loop 3")
+    activities = ("computation", "communication")
+    clock = np.zeros(8)
+    for index in range(events):
+        rank = index % 8
+        duration = float(rng.uniform(1e-4, 1e-3))
+        tracer.add(TraceEvent(
+            rank=rank, region=regions[index % 3],
+            activity=activities[index % 2],
+            begin=float(clock[rank]), end=float(clock[rank]) + duration,
+            kind="compute"))
+        clock[rank] += duration
+    write_tracer(path, tracer)
+
+
+def consume(chunks):
+    return OnlineAccumulator().consume(chunks).finalize()
+
+
+def best_of(function, repeats: int):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def micro_disabled_span_ns(calls: int = MICRO_CALLS) -> float:
+    """Nanoseconds one *disabled* span call site costs."""
+    assert not obspans.is_enabled()
+    span = obspans.span
+    start = time.perf_counter()
+    for _ in range(calls):
+        with span("micro"):
+            pass
+    elapsed = time.perf_counter() - start
+    return elapsed / calls * 1e9
+
+
+def run(events: int, chunk_size: int, repeats: int) -> dict:
+    workdir = tempfile.mkdtemp(prefix="bench-obs-")
+    path = Path(workdir) / "trace.jsonl"
+    build_trace(path, events)
+    obspans.disable()
+
+    baseline_time, baseline = best_of(
+        lambda: consume(iter_trace(path, chunk_size=chunk_size)), repeats)
+    disabled_time, disabled = best_of(
+        lambda: consume(iter_any(path, chunk_size=chunk_size)), repeats)
+
+    # Recording stays on across repeats (as during one --profile run);
+    # the drain between repeats is bookkeeping, not pipeline time.
+    obspans.enable()
+    try:
+        enabled_time, enabled = float("inf"), None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            enabled = consume(iter_any(path, chunk_size=chunk_size))
+            enabled_time = min(enabled_time,
+                               time.perf_counter() - start)
+            obspans.drain()
+    finally:
+        obspans.disable()
+
+    for name, other in (("disabled", disabled), ("enabled", enabled)):
+        if baseline.regions != other.regions \
+                or not np.array_equal(baseline.times, other.times):
+            raise AssertionError(
+                f"{name} instrumentation changed the measurements")
+
+    return {
+        "events": events,
+        "chunk_size": chunk_size,
+        "repeats": repeats,
+        "baseline_seconds": baseline_time,
+        "disabled_seconds": disabled_time,
+        "enabled_seconds": enabled_time,
+        "disabled_overhead": disabled_time / baseline_time - 1.0,
+        "enabled_overhead": enabled_time / disabled_time - 1.0,
+        "disabled_span_ns": micro_disabled_span_ns(),
+    }
+
+
+def render(metrics: dict) -> str:
+    return "\n".join([
+        f"trace: {metrics['events']} events, "
+        f"chunk size {metrics['chunk_size']} "
+        f"({metrics['events'] // metrics['chunk_size']} chunks), "
+        f"best of {metrics['repeats']}",
+        f"baseline (no obs code):   "
+        f"{metrics['baseline_seconds'] * 1e3:8.1f} ms",
+        f"instrumented, disabled:   "
+        f"{metrics['disabled_seconds'] * 1e3:8.1f} ms  "
+        f"({metrics['disabled_overhead'] * 100:+.2f}%, "
+        f"ceiling {DISABLED_OVERHEAD_CEILING * 100:.0f}%)",
+        f"instrumented, enabled:    "
+        f"{metrics['enabled_seconds'] * 1e3:8.1f} ms  "
+        f"({metrics['enabled_overhead'] * 100:+.2f}%, "
+        f"ceiling {ENABLED_OVERHEAD_CEILING * 100:.0f}%)",
+        f"disabled span() call:     "
+        f"{metrics['disabled_span_ns']:8.1f} ns",
+    ])
+
+
+def test_obs_quick_smoke():
+    """Pytest entry point: identical results under instrumentation and
+    sane timings (no absolute-performance assertion — machine speed
+    varies; the script's full mode enforces the overhead ceilings)."""
+    metrics = run(*QUICK, repeats=2)
+    assert metrics["baseline_seconds"] > 0.0
+    assert metrics["disabled_span_ns"] < 100_000   # sanity, not a floor
+    print()
+    print(render(metrics))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="overhead of the self-observability layer")
+    parser.add_argument("--quick", action="store_true",
+                        help="small trace, no overhead assertion "
+                             "(CI smoke run)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of-R timing repeats (default 5)")
+    parser.add_argument("--output", default="BENCH_obs.json",
+                        help="metrics file (default: BENCH_obs.json)")
+    arguments = parser.parse_args(argv)
+    if arguments.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    events, chunk_size = QUICK if arguments.quick else FULL
+    repeats = min(arguments.repeats, 2) if arguments.quick \
+        else arguments.repeats
+    metrics = run(events, chunk_size, repeats)
+    print(render(metrics))
+    Path(arguments.output).write_text(json.dumps(metrics, indent=2) + "\n")
+    print(f"\nwrote {arguments.output}")
+
+    if arguments.quick:
+        print("\nquick mode: differential checks passed")
+        return 0
+    failures = []
+    if metrics["disabled_overhead"] >= DISABLED_OVERHEAD_CEILING:
+        failures.append(
+            f"disabled overhead {metrics['disabled_overhead'] * 100:.2f}% "
+            f"exceeds the {DISABLED_OVERHEAD_CEILING * 100:.0f}% ceiling")
+    if metrics["enabled_overhead"] >= ENABLED_OVERHEAD_CEILING:
+        failures.append(
+            f"enabled overhead {metrics['enabled_overhead'] * 100:.2f}% "
+            f"exceeds the {ENABLED_OVERHEAD_CEILING * 100:.0f}% ceiling")
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(f"\nOK: disabled {metrics['disabled_overhead'] * 100:+.2f}%, "
+          f"enabled {metrics['enabled_overhead'] * 100:+.2f}% "
+          "within the ceilings")
+    return 0
+
+
+if __name__ == "__main__":                           # pragma: no cover
+    sys.exit(main())

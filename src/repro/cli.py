@@ -23,6 +23,11 @@ stack.  Subcommands:
   forecasts; ``--sweep DIR`` fans the analysis out over every trace in
   a directory (multiprocessing, on-disk content-keyed cache);
   ``--stream`` windows a single trace in two bounded-memory passes.
+* ``repro self``                — dogfooding: profile the tool's own
+  sharded analysis pipeline, print its per-stage timing table and
+  imbalance indices, optionally export the spans as a repro trace.
+  ``analyze`` and ``temporal`` accept ``--profile``/``--profile-out``
+  to do the same for any run.
 * ``repro serve``               — run the analysis service daemon: HTTP
   trace ingestion into a content-addressed store, a bounded worker
   pool over the shared report cache, ``/metrics`` + ``/healthz``
@@ -120,9 +125,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "(default: 8192)")
     analyze_cmd.add_argument("--jobs", type=int, default=None,
                              metavar="J",
-                             help="with --stream: fan the file out "
-                                  "over J worker processes (sharded "
-                                  "map-reduce; default: sequential)")
+                             help="fan the file out over J worker "
+                                  "processes (sharded map-reduce; "
+                                  "implies --stream; default: "
+                                  "sequential)")
+    _add_profile_arguments(analyze_cmd)
 
     commands.add_parser(
         "paper", help="reproduce the paper's application example")
@@ -216,6 +223,32 @@ def _build_parser() -> argparse.ArgumentParser:
                               metavar="N",
                               help="events per streamed chunk "
                                    "(default: 8192)")
+    _add_profile_arguments(temporal_cmd)
+
+    self_cmd = commands.add_parser(
+        "self", help="profile the tool's own pipeline and turn the "
+                     "methodology on itself")
+    self_cmd.add_argument("tracefile", nargs="?",
+                          help="trace to analyze under profiling "
+                               "(default: a synthesized paper trace)")
+    self_cmd.add_argument("--jobs", type=int, default=2, metavar="J",
+                          help="shard worker processes for the profiled "
+                               "run (default: 2)")
+    self_cmd.add_argument("--chunk-size", type=int, default=8192,
+                          metavar="N",
+                          help="events per streamed chunk "
+                               "(default: 8192)")
+    self_cmd.add_argument("--index", default="euclidean",
+                          help="index of dispersion for the "
+                               "self-imbalance figures (default: "
+                               "euclidean)")
+    self_cmd.add_argument("--trace", metavar="PATH", dest="self_trace",
+                          help="write the recorded spans as a repro "
+                               "trace file (analyzable with "
+                               "`repro analyze`)")
+    self_cmd.add_argument("--report", action="store_true",
+                          help="also print the full imbalance report "
+                               "of the self-trace")
 
     serve_cmd = commands.add_parser(
         "serve", help="run the analysis service daemon: HTTP trace "
@@ -300,6 +333,17 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_profile_arguments(command) -> None:
+    """The self-observability flags shared by ``analyze``/``temporal``."""
+    command.add_argument("--profile", action="store_true",
+                         help="record pipeline spans and print the "
+                              "per-stage timing table after the report")
+    command.add_argument("--profile-out", metavar="PATH",
+                         help="write the recorded spans as a repro "
+                              "trace file (implies --profile; analyze "
+                              "it with `repro analyze` or `repro self`)")
+
+
 def _add_retry_arguments(command) -> None:
     """The client-resilience flags shared by ``submit`` and ``fetch``."""
     command.add_argument("--retries", type=int, default=2,
@@ -321,6 +365,48 @@ def _make_client(arguments):
         raise ReproError("--retry-max-wait must not be negative")
     return ServeClient(arguments.url, retries=arguments.retries,
                        retry_max_wait=arguments.retry_max_wait)
+
+
+class _Profiled:
+    """Span recording around one command, when ``--profile`` asks.
+
+    On success, prints the per-stage timing table after the command's
+    own output and optionally serializes the spans as a repro trace
+    (``--profile-out``) — the dogfooding loop: the profile of an
+    analysis run is itself an analyzable trace.  On failure the spans
+    are dropped; the error message must stay the last thing printed.
+    """
+
+    def __init__(self, arguments) -> None:
+        self._out = getattr(arguments, "profile_out", None)
+        self._active = bool(getattr(arguments, "profile", False)
+                            or self._out)
+
+    def __enter__(self) -> "_Profiled":
+        if self._active:
+            from .obs import spans as obspans
+            obspans.enable()
+        return self
+
+    def __exit__(self, exc_type, *exc_info) -> bool:
+        if not self._active:
+            return False
+        from .obs import spans as obspans
+        spans = obspans.drain()
+        obspans.disable()
+        if exc_type is not None:
+            return False
+        if spans:
+            print()
+            print(obspans.render_span_table(spans))
+            if self._out:
+                from .obs.selftrace import write_selftrace
+                count = write_selftrace(self._out, spans)
+                print(f"\nwrote {count} self-trace events to "
+                      f"{self._out}")
+        else:
+            print("\n(no pipeline spans were recorded)")
+        return False
 
 
 def _check_stream_arguments(arguments) -> None:
@@ -414,33 +500,43 @@ def render_analyze_report(measurements, *, index: str = "euclidean",
 
 def _command_analyze(arguments) -> int:
     on_error = "raise" if arguments.strict else "salvage"
-    if arguments.stream:
-        for flag in ("timeline", "export_chrome"):
-            if getattr(arguments, flag):
-                raise ReproError(
-                    f"--{flag.replace('_', '-')} needs the full event "
-                    "list; drop --stream to use it")
-        tracer = None
-        measurements = _streamed_measurements(arguments, on_error)
-    else:
-        from .instrument import read_any_tracer, profile
-        tracer = read_any_tracer(arguments.tracefile, on_error=on_error)
-        measurements = profile(tracer)
-    preamble = []
-    if arguments.drop_missing_ranks:
-        missing = measurements.missing_processors()
-        if missing:
-            preamble.append("dropping rank(s) with no recorded events: "
-                            + ", ".join(str(p) for p in missing))
-            measurements = measurements.without_missing_processors()
-    text = render_analyze_report(
-        measurements, index=arguments.index, patterns=arguments.patterns,
-        lorenz=arguments.lorenz, diagnose=arguments.diagnose,
-        heatmap=arguments.heatmap, whatif=arguments.whatif,
-        significance=arguments.significance, tracer=tracer,
-        timeline=arguments.timeline,
-        export_chrome=arguments.export_chrome)
-    print("\n\n".join(preamble + [text]))
+    if arguments.jobs is not None and not arguments.stream:
+        arguments.stream = True       # sharding is a streaming mode
+    with _Profiled(arguments):
+        if arguments.stream:
+            for flag in ("timeline", "export_chrome"):
+                if getattr(arguments, flag):
+                    raise ReproError(
+                        f"--{flag.replace('_', '-')} needs the full "
+                        "event list; drop --stream/--jobs to use it")
+            tracer = None
+            measurements = _streamed_measurements(arguments, on_error)
+        else:
+            from .instrument import read_any_tracer, profile
+            from .obs import spans as obspans
+            with obspans.span("read_trace", activity="read",
+                              trace=str(arguments.tracefile)):
+                tracer = read_any_tracer(arguments.tracefile,
+                                         on_error=on_error)
+            with obspans.span("profile", activity="aggregate"):
+                measurements = profile(tracer)
+        preamble = []
+        if arguments.drop_missing_ranks:
+            missing = measurements.missing_processors()
+            if missing:
+                preamble.append(
+                    "dropping rank(s) with no recorded events: "
+                    + ", ".join(str(p) for p in missing))
+                measurements = measurements.without_missing_processors()
+        text = render_analyze_report(
+            measurements, index=arguments.index,
+            patterns=arguments.patterns,
+            lorenz=arguments.lorenz, diagnose=arguments.diagnose,
+            heatmap=arguments.heatmap, whatif=arguments.whatif,
+            significance=arguments.significance, tracer=tracer,
+            timeline=arguments.timeline,
+            export_chrome=arguments.export_chrome)
+        print("\n\n".join(preamble + [text]))
     return 0
 
 
@@ -641,10 +737,11 @@ def _command_temporal(arguments) -> int:
         config = SweepConfig(n_windows=arguments.windows,
                              index=arguments.index,
                              forecast_threshold=arguments.forecast)
-        summaries = sweep_traces(arguments.sweep, config,
-                                 jobs=arguments.jobs,
-                                 use_cache=not arguments.no_cache)
-        print(render_sweep_table(summaries))
+        with _Profiled(arguments):
+            summaries = sweep_traces(arguments.sweep, config,
+                                     jobs=arguments.jobs,
+                                     use_cache=not arguments.no_cache)
+            print(render_sweep_table(summaries))
         failed = [s for s in summaries if not s.ok]
         if failed:
             print(f"\n{len(failed)} trace(s) could not be analyzed",
@@ -654,16 +751,84 @@ def _command_temporal(arguments) -> int:
         raise ReproError("temporal needs a trace file (or --sweep DIR)")
 
     on_error = "raise" if arguments.strict else "salvage"
-    if arguments.stream:
-        windows, n_events = _streamed_windows(arguments, on_error)
-    else:
-        from .instrument import read_any_tracer, window_profiles
-        tracer = read_any_tracer(arguments.tracefile, on_error=on_error)
-        windows = window_profiles(tracer, arguments.windows)
-        n_events = len(tracer)
-    print(render_temporal_report(
-        windows, n_events, index=arguments.index, phases=arguments.phases,
-        forecast=arguments.forecast, heatmap=arguments.heatmap))
+    with _Profiled(arguments):
+        from .obs import spans as obspans
+        if arguments.stream:
+            windows, n_events = _streamed_windows(arguments, on_error)
+        else:
+            from .instrument import read_any_tracer, window_profiles
+            with obspans.span("read_trace", activity="read",
+                              trace=str(arguments.tracefile)):
+                tracer = read_any_tracer(arguments.tracefile,
+                                         on_error=on_error)
+            with obspans.span("window", activity="window",
+                              windows=arguments.windows):
+                windows = window_profiles(tracer, arguments.windows)
+            n_events = len(tracer)
+        print(render_temporal_report(
+            windows, n_events, index=arguments.index,
+            phases=arguments.phases,
+            forecast=arguments.forecast, heatmap=arguments.heatmap))
+    return 0
+
+
+def _command_self(arguments) -> int:
+    """Dogfooding: profile an analysis run, then turn the methodology
+    on the profile.
+
+    Runs the sharded streaming analysis under span recording (over the
+    given trace, or a synthesized paper trace when none is supplied),
+    prints the per-stage timing table plus the per-stage imbalance
+    indices, and optionally serializes the spans as a repro trace —
+    which every other verb accepts like any program's trace.
+    """
+    import tempfile
+
+    from .obs import spans as obspans
+    from .obs.selftrace import (render_self_report, self_imbalance,
+                                write_selftrace)
+    from .shards import shard_accumulate
+    if arguments.jobs < 1:
+        raise ReproError("--jobs must be at least 1")
+    if arguments.chunk_size < 1:
+        raise ReproError("--chunk-size must be at least 1")
+
+    with tempfile.TemporaryDirectory(prefix="repro-self-") as workdir:
+        if arguments.tracefile:
+            tracefile = str(arguments.tracefile)
+            source = tracefile
+        else:
+            from .calibrate.reconstruct import synthesize_paper_trace
+            tracefile = str(Path(workdir) / "paper.jsonl")
+            synthesize_paper_trace(tracefile)
+            source = "synthesized paper trace"
+        obspans.enable()
+        try:
+            accumulator = shard_accumulate(
+                tracefile, jobs=arguments.jobs,
+                chunk_size=arguments.chunk_size)
+            render_analyze_report(accumulator.finalize(),
+                                  index=arguments.index)
+            spans = obspans.drain()
+        finally:
+            obspans.disable()
+
+    print(f"profiled the analysis pipeline over {source} "
+          f"({arguments.jobs} shard worker(s))\n")
+    print(obspans.render_span_table(spans))
+    pairs = self_imbalance(spans, index=arguments.index)
+    width = max(len(stage) for stage, _ in pairs)
+    print(f"\nper-stage self-imbalance (index {arguments.index}, "
+          "scaled by mean duration):")
+    for stage, value in pairs:
+        print(f"  {stage:<{width}s}  {value:.4g}")
+    if arguments.report:
+        print()
+        print(render_self_report(spans, index=arguments.index))
+    if arguments.self_trace:
+        count = write_selftrace(arguments.self_trace, spans)
+        print(f"\nwrote {count} self-trace events to "
+              f"{arguments.self_trace}")
     return 0
 
 
@@ -770,6 +935,7 @@ _COMMANDS = {
     "testbed": _command_testbed,
     "faults": _command_faults,
     "temporal": _command_temporal,
+    "self": _command_self,
     "serve": _command_serve,
     "submit": _command_submit,
     "fetch": _command_fetch,

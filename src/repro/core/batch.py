@@ -40,6 +40,7 @@ from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import DispersionError, RankingError
+from ..obs import spans as obspans
 from .dispersion import _REGISTRY as _SCALAR_REGISTRY
 from .dispersion import get_index
 from .measurements import MeasurementSet
@@ -569,8 +570,10 @@ class AnalysisSession:
         key = ("analysis", repr(sorted(options.items())))
         if key not in self._cache:
             from .methodology import Methodology
-            self._cache[key] = Methodology(**options).analyze(
-                self.measurements, session=self)
+            with obspans.span("batch_analyze",
+                              index=options.get("index", "euclidean")):
+                self._cache[key] = Methodology(**options).analyze(
+                    self.measurements, session=self)
         return self._cache[key]
 
     def ranking(self, kind: str = "region", criterion: str = "maximum",
@@ -622,5 +625,7 @@ class AnalysisSession:
         key = ("report", repr(sorted(options.items())))
         if key not in self._cache:
             from .report import render_full_report
-            self._cache[key] = render_full_report(self.analyze(**options))
+            analysis = self.analyze(**options)
+            with obspans.span("batch_report", activity="render"):
+                self._cache[key] = render_full_report(analysis)
         return self._cache[key]

@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Iterator, List, Optional, Tuple, Union
 
 from ..errors import TraceError, TraceWarning
+from ..obs import spans as obspans
 from .binary import MAGIC, VERSION, _HEADER, _RECORD
 from .events import EVENT_KINDS, TraceEvent
 from .tracefile import FORMAT_NAME, FORMAT_VERSION, _check_on_error, _open
@@ -398,17 +399,51 @@ def iter_binary_span(path: PathLike, start: int, stop: int,
                 return
 
 
+def _spanned_chunks(chunks: Iterator[EventChunk], stage: str,
+                    trace: str) -> Iterator[EventChunk]:
+    """Wrap each ``next()`` of a chunk iterator in a decode span.
+
+    The span covers the decode work (file reads, JSON/struct parsing),
+    not the consumer's fold — the two alternate, so `repro self` can
+    tell whether a slow stream spends its time decoding or
+    accumulating.  StopIteration must be caught inside the ``with``
+    (PEP 479: letting it escape a generator raises RuntimeError).
+    """
+    chunks = iter(chunks)
+    while True:
+        with obspans.span(stage, activity="decode", trace=trace) as live:
+            try:
+                chunk = next(chunks)
+            except StopIteration:
+                return
+            live.set(events=len(chunk))
+        yield chunk
+
+
+def instrument_chunks(chunks: Iterator[EventChunk], stage: str,
+                      trace: PathLike) -> Iterator[EventChunk]:
+    """Per-chunk decode spans around ``chunks`` — only when span
+    recording is enabled at call time; otherwise the iterator comes
+    back untouched, so the streaming hot loop pays nothing."""
+    if not obspans.is_enabled():
+        return chunks
+    return _spanned_chunks(chunks, stage, str(trace))
+
+
 def iter_any(path: PathLike, chunk_size: int = DEFAULT_CHUNK_SIZE,
              on_error: str = "salvage") -> Iterator[EventChunk]:
     """Iterate a trace in whichever supported format it uses."""
     from .binary import sniff_format
     kind = sniff_format(path)
     if kind == "binary":
-        return iter_binary_trace(path, chunk_size=chunk_size,
-                                 on_error=on_error)
-    if kind == "jsonl":
-        return iter_trace(path, chunk_size=chunk_size, on_error=on_error)
-    raise TraceError(f"{path} is in no supported trace format")
+        chunks = iter_binary_trace(path, chunk_size=chunk_size,
+                                   on_error=on_error)
+    elif kind == "jsonl":
+        chunks = iter_trace(path, chunk_size=chunk_size,
+                            on_error=on_error)
+    else:
+        raise TraceError(f"{path} is in no supported trace format")
+    return instrument_chunks(chunks, "stream_decode", path)
 
 
 def binary_record_count(path: PathLike) -> Tuple[int, int]:

@@ -1,0 +1,147 @@
+"""Structured JSON logging with request-ID propagation.
+
+One log record is one JSON object on one line — machine-parseable by
+construction, so a daemon's stderr can be shipped to any log pipeline
+without a format grammar.  Every record carries:
+
+``ts``          seconds since the epoch (6 decimal places)
+``level``       ``debug`` | ``info`` | ``warning`` | ``error``
+``logger``      the component name (``serve``, ``jobs``, ...)
+``event``       a stable machine-readable event name
+``request_id``  when one is in scope (see below)
+
+plus whatever keyword fields the call site attaches.  Values that are
+not JSON-serializable are stringified rather than raised on: a log
+line must never take the request down with it.
+
+**Request-ID propagation.**  :func:`set_request_id` /
+:func:`request_scope` bind an ID to the current thread;
+:func:`JsonLogger.log` picks it up automatically.  The serve stack
+threads one ID end-to-end: :class:`~repro.serve.client.ServeClient`
+generates an ``X-Request-Id`` when the caller supplies none (stable
+across retries of the same logical request), the daemon echoes it in
+every response header and 4xx/5xx body, and both access-log and
+job-log lines carry it — one grep correlates a slow client call with
+the handler thread and the job that served it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+import uuid
+from typing import Optional
+
+_LOCAL = threading.local()
+
+LEVELS = ("debug", "info", "warning", "error")
+
+
+def new_request_id() -> str:
+    """A fresh, URL-safe request correlation ID (16 hex chars)."""
+    return uuid.uuid4().hex[:16]
+
+
+def set_request_id(request_id: Optional[str]) -> Optional[str]:
+    """Bind ``request_id`` to this thread; returns the previous one."""
+    previous = getattr(_LOCAL, "request_id", None)
+    _LOCAL.request_id = request_id
+    return previous
+
+
+def get_request_id() -> Optional[str]:
+    """The request ID bound to this thread, if any."""
+    return getattr(_LOCAL, "request_id", None)
+
+
+class request_scope:
+    """Context manager binding a request ID for one handler's duration."""
+
+    def __init__(self, request_id: Optional[str]) -> None:
+        self._request_id = request_id
+
+    def __enter__(self) -> Optional[str]:
+        self._previous = set_request_id(self._request_id)
+        return self._request_id
+
+    def __exit__(self, *exc_info) -> bool:
+        set_request_id(self._previous)
+        return False
+
+
+class JsonLogger:
+    """A thread-safe one-JSON-object-per-line logger."""
+
+    def __init__(self, stream=None, name: str = "repro",
+                 clock=time.time) -> None:
+        self._stream = stream
+        self._name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def child(self, name: str) -> "JsonLogger":
+        """A logger sharing this one's stream under a component name."""
+        logger = JsonLogger(self._stream, name=name, clock=self._clock)
+        logger._lock = self._lock
+        return logger
+
+    def log(self, event: str, level: str = "info", **fields) -> dict:
+        """Emit one record; returns the dict that was written.
+
+        ``request_id`` is taken from the thread scope unless passed
+        explicitly.  A closed or broken stream is ignored — logging
+        must never fail the operation being logged.
+        """
+        record = {"ts": round(self._clock(), 6), "level": level,
+                  "logger": self._name, "event": event}
+        request_id = fields.pop("request_id", None) or get_request_id()
+        if request_id:
+            record["request_id"] = request_id
+        record.update(fields)
+        stream = self._stream if self._stream is not None else sys.stderr
+        try:
+            line = json.dumps(record, sort_keys=True, default=str)
+            with self._lock:
+                stream.write(line + "\n")
+                stream.flush()
+        except (OSError, ValueError):
+            pass
+        return record
+
+    def debug(self, event: str, **fields) -> dict:
+        return self.log(event, level="debug", **fields)
+
+    def info(self, event: str, **fields) -> dict:
+        return self.log(event, level="info", **fields)
+
+    def warning(self, event: str, **fields) -> dict:
+        return self.log(event, level="warning", **fields)
+
+    def error(self, event: str, **fields) -> dict:
+        return self.log(event, level="error", **fields)
+
+
+class NullLogger(JsonLogger):
+    """A logger that drops everything (still builds the record dict,
+    so call sites can be tested without a stream)."""
+
+    def __init__(self) -> None:
+        super().__init__(stream=None)
+
+    def child(self, name: str) -> "NullLogger":
+        return self
+
+    def log(self, event: str, level: str = "info", **fields) -> dict:
+        record = {"ts": round(time.time(), 6), "level": level,
+                  "logger": "null", "event": event}
+        request_id = fields.pop("request_id", None) or get_request_id()
+        if request_id:
+            record["request_id"] = request_id
+        record.update(fields)
+        return record
+
+
+__all__ = ["JsonLogger", "LEVELS", "NullLogger", "get_request_id",
+           "new_request_id", "request_scope", "set_request_id"]

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..errors import ReproError
+from ..obs.log import new_request_id
 from .store import trace_sha256
 
 PathLike = Union[str, Path]
@@ -119,10 +120,18 @@ class ServeClient:
                  data: Optional[bytes] = None,
                  content_type: str = "application/json",
                  headers: Optional[dict] = None) -> dict:
+        # One correlation ID per *logical* request, minted here when
+        # the caller supplies none: every retry attempt carries the
+        # same X-Request-Id, so the daemon's access log shows N
+        # attempts of one request rather than N unrelated requests.
+        headers = dict(headers or {})
+        if "X-Request-Id" not in headers:
+            headers["X-Request-Id"] = new_request_id()
+        request_id = headers["X-Request-Id"]
         for attempt in range(self.retries + 1):
             request = urllib.request.Request(
                 self.url + path, data=data, method=method,
-                headers={"Content-Type": content_type, **(headers or {})})
+                headers={"Content-Type": content_type, **headers})
             try:
                 with urllib.request.urlopen(
                         request, timeout=self.timeout) as response:
@@ -140,7 +149,7 @@ class ServeClient:
                     pass
                 raise ReproError(
                     f"service answered {error.code} for {method} {path}: "
-                    f"{detail}") from error
+                    f"{detail} [request {request_id}]") from error
             except (urllib.error.URLError, OSError) as error:
                 if attempt < self.retries:
                     self._sleep(self._backoff(attempt))

@@ -37,6 +37,8 @@ from typing import Dict, Mapping, Optional
 
 from ..cache import ReportCache, content_key
 from ..errors import ReproError, TraceError, TraceWarning
+from ..obs import log as obslog
+from ..obs import spans as obspans
 from .metrics import ServiceMetrics
 from .store import TraceStore
 
@@ -174,12 +176,14 @@ class JobRunner:
     def __init__(self, store: TraceStore, cache: ReportCache,
                  metrics: Optional[ServiceMetrics] = None,
                  workers: int = 4,
-                 max_queue: Optional[int] = DEFAULT_MAX_QUEUE) -> None:
+                 max_queue: Optional[int] = DEFAULT_MAX_QUEUE,
+                 logger: Optional[obslog.JsonLogger] = None) -> None:
         if max_queue is not None and max_queue < 1:
             raise ReproError("max_queue must be at least 1")
         self.store = store
         self.cache = cache
         self.metrics = metrics or ServiceMetrics()
+        self.logger = logger if logger is not None else obslog.NullLogger()
         self.workers = max(1, workers)
         self.max_queue = max_queue
         self._executor = ThreadPoolExecutor(
@@ -243,14 +247,20 @@ class JobRunner:
                         retry_after=self._retry_after(backlog))
                 self.metrics.count("report_cache_misses")
                 self.metrics.adjust("queue_depth", 1)
+                # The submitting thread's request ID rides along so
+                # the job's log lines correlate with the access log.
+                request_id = obslog.get_request_id()
                 try:
                     future = self._executor.submit(
-                        self._compute, key, sha, kind, params)
+                        self._compute, key, sha, kind, params,
+                        request_id)
                 except RuntimeError:   # raced an executor shutdown
                     self.metrics.adjust("queue_depth", -1)
                     raise ServiceDrainingError(
                         "service is draining and accepts no new jobs")
                 self._inflight[key] = future
+                self.logger.info("job_queued", key=key, trace=sha,
+                                 kind=kind, request_id=request_id)
             else:
                 self.metrics.count("singleflight_merged")
         if not wait:
@@ -299,12 +309,16 @@ class JobRunner:
         payload["cached"] = True
         return payload
 
-    def _compute(self, key: str, sha: str, kind: str,
-                 params: Mapping) -> dict:
+    def _compute(self, key: str, sha: str, kind: str, params: Mapping,
+                 request_id: Optional[str] = None) -> dict:
         self.metrics.adjust("queue_depth", -1)
         self.metrics.adjust("jobs_running", 1)
+        started = time.perf_counter()
         try:
-            with self.metrics.timed("job_compute"):
+            with self.metrics.timed("job_compute"), \
+                    obspans.span("serve_job",
+                                 worker=threading.current_thread().name,
+                                 activity=kind, key=key, trace=sha):
                 payload = build_report(
                     self.store.path(sha), sha, kind, params)
             payload["key"] = key
@@ -313,9 +327,17 @@ class JobRunner:
             # in flight or cached — never recomputable.
             self.cache.put(key, json.dumps(payload, sort_keys=True))
             self.metrics.count("jobs_computed")
+            self.logger.info(
+                "job_done", key=key, trace=sha, kind=kind,
+                request_id=request_id,
+                duration_ms=round(
+                    (time.perf_counter() - started) * 1e3, 3))
             return payload
         except ReproError as error:
             self.metrics.count("jobs_failed")
+            self.logger.error("job_failed", key=key, trace=sha,
+                              kind=kind, request_id=request_id,
+                              error=str(error))
             return {"status": "error", "key": key, "trace": sha,
                     "kind": kind, "params": dict(params),
                     "error": str(error)}

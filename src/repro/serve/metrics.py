@@ -8,9 +8,11 @@ that serializes straight to JSON.
 
 Latencies are tracked per *family* (``report_hit``, ``report_miss``,
 ``ingest``, ``request``) in bounded reservoirs of the most recent
-observations; p50/p99 are computed on demand with the nearest-rank
-method, so a long-running daemon reports its *current* tail, not its
-lifetime average.
+observations; p50/p99 — and the snapshot mean — are computed over the
+retained reservoir, so a long-running daemon reports its *current*
+tail, not its lifetime average.  The lifetime sum and count are kept
+alongside (cheaply) for the Retry-After estimate and the monotonic
+Prometheus summary children.
 """
 
 from __future__ import annotations
@@ -26,17 +28,30 @@ RESERVOIR = 2048
 
 
 class LatencyWindow:
-    """A bounded reservoir of recent durations (seconds)."""
+    """A bounded reservoir of recent durations (seconds).
+
+    Two running sums are kept: ``total`` over every observation ever
+    (cheap lifetime mean for the job runner's Retry-After estimate,
+    and the monotonic ``_sum`` of the Prometheus summary) and
+    ``window_total`` over the retained reservoir only — maintained
+    incrementally by subtracting each evicted sample, so the snapshot
+    mean is windowed like the quantiles without ever re-summing the
+    deque.
+    """
 
     def __init__(self, maxlen: int = RESERVOIR) -> None:
         self._samples: deque = deque(maxlen=maxlen)
         self.count = 0
         self.total = 0.0
+        self.window_total = 0.0
 
     def observe(self, seconds: float) -> None:
+        if len(self._samples) == self._samples.maxlen:
+            self.window_total -= self._samples[0]    # about to age out
         self._samples.append(seconds)
         self.count += 1
         self.total += seconds
+        self.window_total += seconds
 
     def quantile(self, q: float) -> Optional[float]:
         """Nearest-rank quantile of the retained samples (None if empty)."""
@@ -46,12 +61,20 @@ class LatencyWindow:
         rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
         return ordered[rank]
 
+    def mean(self) -> Optional[float]:
+        """Mean of the *retained* samples (None if empty) — windowed,
+        consistent with p50/p99, unlike the lifetime ``total/count``."""
+        if not self._samples:
+            return None
+        return self.window_total / len(self._samples)
+
     def snapshot(self) -> dict:
         return {
             "count": self.count,
-            "mean_seconds": (self.total / self.count) if self.count else None,
+            "mean_seconds": self.mean(),
             "p50_seconds": self.quantile(0.50),
             "p99_seconds": self.quantile(0.99),
+            "total_seconds": self.total,
         }
 
 

@@ -49,13 +49,18 @@ from __future__ import annotations
 import json
 import math
 import socket
+import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Optional, Tuple, Union
 
 from ..cache import ReportCache
 from ..errors import ReproError, TraceError
+from ..obs.log import (JsonLogger, NullLogger, new_request_id,
+                       request_scope)
+from ..obs.prom import PROM_CONTENT_TYPE, render_prometheus
 from .jobs import (DEFAULT_MAX_QUEUE, JobRunner, QueueFullError,
                    ServiceDrainingError)
 from .metrics import ServiceMetrics
@@ -137,11 +142,17 @@ class _Handler(BaseHTTPRequestHandler):
         super().setup()
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        if self.service.verbose:
-            super().log_message(format, *args)
+        pass       # access logging is structured; see _route
 
     def _send_json(self, status: int, payload: dict,
                    headers: Optional[dict] = None) -> None:
+        request_id = getattr(self, "request_id", None)
+        if status >= 400 and request_id \
+                and "request_id" not in payload:
+            # Error bodies carry the correlation ID so a client-side
+            # log of the failure alone is enough to find the handler's
+            # access-log line.
+            payload = {**payload, "request_id": request_id}
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         if status >= 400:
             # The request body may be wholly or partly unread (413 is
@@ -149,10 +160,18 @@ class _Handler(BaseHTTPRequestHandler):
             # answer rather than letting leftover bytes corrupt the
             # next keep-alive request.
             self.close_connection = True
+        self._send_body(status, body, "application/json",
+                        headers=headers, request_id=request_id)
+
+    def _send_body(self, status: int, body: bytes, content_type: str,
+                   headers: Optional[dict] = None,
+                   request_id: Optional[str] = None) -> None:
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            if request_id:
+                self.send_header("X-Request-Id", request_id)
             for name, value in (headers or {}).items():
                 self.send_header(name, value)
             if self.close_connection:
@@ -163,6 +182,7 @@ class _Handler(BaseHTTPRequestHandler):
             # The peer is gone or too slow to take the answer; there
             # is nobody left to report the failure to.
             self.close_connection = True
+        self._status = status
         self.service.metrics.count(f"responses_{status // 100}xx")
 
     def _content_length(self) -> int:
@@ -219,8 +239,17 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [part for part in path.split("/") if part]
         metrics.count(f"requests_{method.lower()}_"
                       + (parts[0] if parts else "root"))
+        # One correlation ID per request: the client's X-Request-Id if
+        # it sent one (ServeClient always does), a fresh one otherwise.
+        # It is echoed on every response, carried in 4xx/5xx bodies,
+        # bound to the handler thread (so job logs inherit it) and
+        # stamped on the access-log line.
+        self.request_id = self.headers.get("X-Request-Id") \
+            or new_request_id()
+        self._status = 0
+        started = time.perf_counter()
         try:
-            with metrics.timed("request"):
+            with request_scope(self.request_id), metrics.timed("request"):
                 handler = getattr(
                     self, f"_{method.lower()}_{parts[0]}", None) \
                     if parts else None
@@ -254,6 +283,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(500, {"error": f"internal error: "
                                            f"{type(error).__name__}: "
                                            f"{error}"})
+        self.service.logger.info(
+            "request", method=method, path=self.path,
+            status=self._status, request_id=self.request_id,
+            peer=self.client_address[0],
+            duration_ms=round((time.perf_counter() - started) * 1e3, 3))
 
     def do_GET(self) -> None:          # noqa: N802 - stdlib naming
         self._route("GET")
@@ -274,6 +308,17 @@ class _Handler(BaseHTTPRequestHandler):
             "traces": len(self.service.store),
         })
 
+    def _wants_prometheus(self) -> bool:
+        """Content negotiation for ``/metrics``: JSON stays the default
+        (bare scrapes, ServeClient, the existing dashboards); a client
+        asking for ``text/plain`` or the OpenMetrics type — which is
+        what a stock Prometheus scraper sends — gets the text
+        exposition instead."""
+        accept = (self.headers.get("Accept") or "").lower()
+        if "application/json" in accept:
+            return False
+        return "text/plain" in accept or "openmetrics" in accept
+
     def _get_metrics(self, rest, query) -> None:
         if rest:
             raise _HttpError(404, "no such endpoint")
@@ -291,6 +336,11 @@ class _Handler(BaseHTTPRequestHandler):
             "max_wait_seconds": self.service.max_wait_seconds,
             "request_timeout_seconds": self.service.request_timeout,
         }
+        if self._wants_prometheus():
+            body = render_prometheus(snapshot).encode("utf-8")
+            self._send_body(200, body, PROM_CONTENT_TYPE,
+                            request_id=getattr(self, "request_id", None))
+            return
         self._send_json(200, snapshot)
 
     def _get_traces(self, rest, query) -> None:
@@ -449,9 +499,16 @@ class AnalysisServer:
         self.max_body_bytes = max_body_bytes
         self.max_wait_seconds = float(max_wait_seconds)
         self.request_timeout = request_timeout
+        # Structured JSON logs (one object per line on stderr) when
+        # verbose; silent otherwise.  The job runner logs under its
+        # own component name on the same stream.
+        self.logger = JsonLogger(sys.stderr, name="serve") if verbose \
+            else NullLogger()
         self.runner = JobRunner(self.store, self.cache,
                                 metrics=self.metrics, workers=self.workers,
-                                max_queue=max_queue)
+                                max_queue=max_queue,
+                                logger=(self.logger.child("jobs")
+                                        if verbose else NullLogger()))
         self.verbose = verbose
         self._httpd = _Server((host, port), self)
         self._thread: Optional[threading.Thread] = None

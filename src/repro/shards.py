@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import List, Optional, Union
 
 from .errors import ReproError, TraceError, TraceWarning
+from .obs import spans as obspans
 
 PathLike = Union[str, Path]
 
@@ -102,25 +103,37 @@ def accumulate_shard(shard: Shard, chunk_size: int = 8192,
                      on_error: str = "salvage"):
     """Fold one shard into a fresh accumulator (the *map* step)."""
     from .core.online import OnlineAccumulator
-    from .instrument.stream import (iter_any, iter_binary_span,
-                                    iter_trace_span)
+    from .instrument.stream import (instrument_chunks, iter_any,
+                                    iter_binary_span, iter_trace_span)
     accumulator = OnlineAccumulator()
     if shard.kind == "binary":
-        chunks = iter_binary_span(shard.path, shard.start, shard.stop,
-                                  chunk_size=chunk_size, on_error=on_error)
+        chunks = instrument_chunks(
+            iter_binary_span(shard.path, shard.start, shard.stop,
+                             chunk_size=chunk_size, on_error=on_error),
+            "stream_decode", shard.path)
     elif shard.kind == "jsonl":
-        chunks = iter_trace_span(shard.path, shard.start, shard.stop,
-                                 chunk_size=chunk_size, on_error=on_error)
+        chunks = instrument_chunks(
+            iter_trace_span(shard.path, shard.start, shard.stop,
+                            chunk_size=chunk_size, on_error=on_error),
+            "stream_decode", shard.path)
     else:
+        # iter_any wraps its own chunks in decode spans.
         chunks = iter_any(shard.path, chunk_size=chunk_size,
                           on_error=on_error)
     return accumulator.consume(chunks)
 
 
 def _shard_worker(task):
-    shard, chunk_size, on_error = task
-    return accumulate_shard(shard, chunk_size=chunk_size,
-                            on_error=on_error)
+    index, shard, chunk_size, on_error = task
+    # Each shard is one logical worker of the self-trace: its spans are
+    # labelled shard-N, so `repro self` can ask whether the shard fleet
+    # itself is balanced.  worker_scope also spools the spans back to
+    # the driver when it runs in a separate process.
+    with obspans.worker_scope(f"shard-{index}"):
+        with obspans.span("shard_accumulate", kind=shard.kind,
+                          start=shard.start, stop=shard.stop):
+            return accumulate_shard(shard, chunk_size=chunk_size,
+                                    on_error=on_error)
 
 
 def shard_accumulate(path: PathLike, jobs: Optional[int] = None,
@@ -141,19 +154,24 @@ def shard_accumulate(path: PathLike, jobs: Optional[int] = None,
         raise ReproError(f"--jobs must be at least 1, got {jobs}")
     if n_shards is None:
         n_shards = jobs
-    shards = plan_shards(path, n_shards)
-    tasks = [(shard, chunk_size, on_error) for shard in shards]
+    with obspans.span("shard_plan", activity="plan"):
+        shards = plan_shards(path, n_shards)
+    tasks = [(index, shard, chunk_size, on_error)
+             for index, shard in enumerate(shards)]
     jobs = max(1, min(jobs, len(shards)))
-    if jobs == 1:
-        parts = [_shard_worker(task) for task in tasks]
-    else:
-        with get_context().Pool(jobs) as pool:
-            parts = pool.map(_shard_worker, tasks)
-    merged = parts[0]
-    for part in parts[1:]:
-        merged = merged.merge(part)
-    if any(shard.kind == "jsonl" for shard in shards):
-        _check_promised_count(Path(path), merged, on_error)
+    with obspans.span("shard_fanout", activity="coordination",
+                      jobs=jobs, shards=len(shards)):
+        if jobs == 1:
+            parts = [_shard_worker(task) for task in tasks]
+        else:
+            with get_context().Pool(jobs) as pool:
+                parts = pool.map(_shard_worker, tasks)
+    with obspans.span("shard_merge", activity="merge"):
+        merged = parts[0]
+        for part in parts[1:]:
+            merged = merged.merge(part)
+        if any(shard.kind == "jsonl" for shard in shards):
+            _check_promised_count(Path(path), merged, on_error)
     return merged
 
 

@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from .cache import ReportCache, content_key
 from .errors import ReproError
+from .obs import spans as obspans
 
 #: Bump when the summary schema or analysis semantics change; part of
 #: the cache key, so stale entries are never served.
@@ -154,9 +155,15 @@ def analyze_trace(path: Union[str, Path], config: SweepConfig,
     if key is None:
         key = trace_key(path, config)
     try:
-        tracer = read_any_tracer(str(path))
-        windows = window_profiles(tracer, config.n_windows)
-        analysis = temporal_analysis(windows, index=config.index)
+        with obspans.span("sweep_read", activity="read",
+                          trace=str(path)):
+            tracer = read_any_tracer(str(path))
+        with obspans.span("sweep_window", activity="window",
+                          trace=str(path)):
+            windows = window_profiles(tracer, config.n_windows)
+        with obspans.span("sweep_trends", activity="computation",
+                          trace=str(path)):
+            analysis = temporal_analysis(windows, index=config.index)
     except ReproError as error:
         return TraceSummary(path=str(path), key=key, error=str(error))
     regions = tuple(
@@ -179,7 +186,11 @@ def analyze_trace(path: Union[str, Path], config: SweepConfig,
 
 def _worker(task) -> TraceSummary:
     path, config, key = task
-    return analyze_trace(path, config, key=key)
+    # Sweep workers are process slots: labelling by pid makes each pool
+    # process one rank of the self-trace, so `--profile` on a sweep
+    # shows whether the fleet's traces were spread evenly.
+    with obspans.worker_scope(f"pid-{os.getpid()}"):
+        return analyze_trace(path, config, key=key)
 
 
 def _load_cached(cache: ReportCache, key: str) -> Optional[TraceSummary]:
@@ -227,26 +238,30 @@ def sweep_traces(traces: Union[str, Path, Sequence[Union[str, Path]]],
     cache = ReportCache(cache_dir if cache_dir is not None
                         else default_cache)
 
-    keys = [trace_key(path, config) for path in paths]
-    results: List[Optional[TraceSummary]] = [None] * len(paths)
-    pending = []
-    for position, (path, key) in enumerate(zip(paths, keys)):
-        cached = _load_cached(cache, key) if use_cache else None
-        if cached is not None:
-            results[position] = cached
-        else:
-            pending.append((position, (str(path), config, key)))
+    with obspans.span("sweep_cache_probe", activity="cache",
+                      traces=len(paths)):
+        keys = [trace_key(path, config) for path in paths]
+        results: List[Optional[TraceSummary]] = [None] * len(paths)
+        pending = []
+        for position, (path, key) in enumerate(zip(paths, keys)):
+            cached = _load_cached(cache, key) if use_cache else None
+            if cached is not None:
+                results[position] = cached
+            else:
+                pending.append((position, (str(path), config, key)))
 
     if pending:
         if jobs is None:
             jobs = os.cpu_count() or 1
         jobs = max(1, min(jobs, len(pending)))
         tasks = [task for _, task in pending]
-        if jobs == 1:
-            fresh = [_worker(task) for task in tasks]
-        else:
-            with get_context().Pool(jobs) as pool:
-                fresh = pool.map(_worker, tasks)
+        with obspans.span("sweep_fanout", activity="coordination",
+                          jobs=jobs, pending=len(pending)):
+            if jobs == 1:
+                fresh = [_worker(task) for task in tasks]
+            else:
+                with get_context().Pool(jobs) as pool:
+                    fresh = pool.map(_worker, tasks)
         for (position, _), summary in zip(pending, fresh):
             results[position] = summary
             if use_cache:
